@@ -1,0 +1,323 @@
+package minoaner
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§6). One benchmark per artifact:
+//
+//	BenchmarkTable1DatasetStats           Table 1  — dataset statistics
+//	BenchmarkTable2BlockStats             Table 2  — block statistics
+//	BenchmarkTable3Comparison             Table 3  — MinoanER vs baselines
+//	BenchmarkTable4MatchingRules          Table 4  — per-rule evaluation
+//	BenchmarkFigure2SimilarityDistribution Figure 2 — value/neighbor similarity of matches
+//	BenchmarkFigure5Sensitivity           Figure 5 — parameter sensitivity
+//	BenchmarkFigure6Scalability           Figure 6 — speedup vs workers
+//
+// plus per-dataset pipeline benchmarks and ablation benchmarks for the
+// design choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use scaled-down presets (benchScale) so a full -bench=. pass
+// stays in the minutes; `go run ./cmd/experiments -all` regenerates the
+// artifacts at full preset scale and prints the formatted tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/eval"
+	"minoaner/internal/experiments"
+	"minoaner/internal/graph"
+	"minoaner/internal/matching"
+	"minoaner/internal/parallel"
+)
+
+// benchScale shrinks the presets for the table/figure benchmarks.
+const benchScale = 0.25
+
+var (
+	suiteOnce sync.Once
+	suiteInst *experiments.Suite
+)
+
+// benchSuite returns a shared, pre-generated suite so the timed loop
+// measures experiment computation, not dataset generation.
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		s, err := experiments.NewSuite(experiments.Options{ScaleFactor: benchScale})
+		if err != nil {
+			panic(err)
+		}
+		for _, name := range s.Names() {
+			if _, err := s.Dataset(name); err != nil {
+				panic(err)
+			}
+		}
+		suiteInst = s
+	})
+	return suiteInst
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkTable2BlockStats(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Recall < 0.9 {
+				b.Fatalf("%s blocking recall %v below paper shape", r.Dataset, r.Recall)
+			}
+		}
+	}
+}
+
+func BenchmarkTable3Comparison(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	var minoanF1 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "MinoanER" && r.Dataset == "BBCmusic-DBpedia" {
+				minoanF1 = r.Metrics.F1
+			}
+		}
+	}
+	b.ReportMetric(100*minoanF1, "F1(BBC)%")
+}
+
+func BenchmarkTable4MatchingRules(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2SimilarityDistribution(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := s.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFigure5Sensitivity(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Scalability(b *testing.B) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// Per-dataset end-to-end pipeline benchmarks (the running times behind
+// Figure 6 at full worker count).
+
+func benchPipeline(b *testing.B, profile datagen.Profile, scale float64) {
+	d, err := datagen.Generate(datagen.Scale(profile, scale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	var f1 float64
+	for i := 0; i < b.N; i++ {
+		out, err := core.Resolve(d.K1, d.K2, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f1 = eval.Evaluate(pairsOf(out), d.GT).F1
+	}
+	b.ReportMetric(100*f1, "F1%")
+}
+
+func pairsOf(out *core.Output) []eval.Pair {
+	ps := make([]eval.Pair, len(out.Matches))
+	for i, m := range out.Matches {
+		ps[i] = m.Pair
+	}
+	return ps
+}
+
+func BenchmarkPipelineRestaurant(b *testing.B) { benchPipeline(b, datagen.Restaurant(), 1.0) }
+func BenchmarkPipelineRexaDBLP(b *testing.B)   { benchPipeline(b, datagen.RexaDBLP(), 0.5) }
+func BenchmarkPipelineBBCmusic(b *testing.B)   { benchPipeline(b, datagen.BBCMusicDBpedia(), 0.5) }
+func BenchmarkPipelineYAGOIMDb(b *testing.B)   { benchPipeline(b, datagen.YAGOIMDb(), 0.5) }
+
+// Component benchmarks: blocking, graph construction, matching — the three
+// synchronization stages of Figure 4.
+
+func benchComponents() (*datagen.Dataset, graph.Input, *graph.Graph) {
+	d, err := datagen.Generate(datagen.Scale(datagen.YAGOIMDb(), 0.25))
+	if err != nil {
+		panic(err)
+	}
+	eng := parallel.New(0)
+	in := graph.InputFor(eng, d.K1, d.K2, 2, 15, 3)
+	cap := int64(float64(d.K1.Len()) * float64(d.K2.Len()) * 0.0005)
+	in.TokenBlocks, _ = blocking.PurgeAbove(in.TokenBlocks, cap)
+	g := graph.Build(eng, in)
+	return d, in, g
+}
+
+func BenchmarkStageTokenBlocking(b *testing.B) {
+	d, _, _ := benchComponents()
+	eng := parallel.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := blocking.TokenBlocks(eng, d.K1, d.K2)
+		if c.Len() == 0 {
+			b.Fatal("no blocks")
+		}
+	}
+}
+
+func BenchmarkStageGraphConstruction(b *testing.B) {
+	_, in, _ := benchComponents()
+	eng := parallel.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.Build(eng, in)
+		if g.Edges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkStageMatching(b *testing.B) {
+	d, _, g := benchComponents()
+	eng := parallel.New(0)
+	cfg := matching.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := matching.Run(eng, g, d.K1, d.K2, cfg)
+		if len(res.Matches) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices called out in DESIGN.md §6.
+
+// BenchmarkAblationPurging compares effectiveness and cost with and without
+// Block Purging: without it, stop-word blocks dominate the β computation.
+func BenchmarkAblationPurging(b *testing.B) {
+	d, err := datagen.Generate(datagen.Scale(datagen.Restaurant(), 1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, purge := range []struct {
+		name string
+		frac float64
+	}{{"with", 0.0005}, {"without", 0}} {
+		b.Run(purge.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.MaxBlockFraction = purge.frac
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				out, err := core.Resolve(d.K1, d.K2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = eval.Evaluate(pairsOf(out), d.GT).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkAblationK sweeps the pruning parameter K, showing the cost of
+// larger candidate lists (the paper's Figure 5 shows F1 is flat in K).
+func BenchmarkAblationK(b *testing.B) {
+	d, err := datagen.Generate(datagen.Scale(datagen.BBCMusicDBpedia(), 0.25))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{5, 15, 25} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.TopK = k
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				out, err := core.Resolve(d.K1, d.K2, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = eval.Evaluate(pairsOf(out), d.GT).F1
+			}
+			b.ReportMetric(100*f1, "F1%")
+		})
+	}
+}
+
+// BenchmarkAblationWorkers measures the raw pipeline speedup (Figure 6's
+// mechanism) at 1, 2 and all workers.
+func BenchmarkAblationWorkers(b *testing.B) {
+	d, err := datagen.Generate(datagen.Scale(datagen.YAGOIMDb(), 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Resolve(d.K1, d.K2, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

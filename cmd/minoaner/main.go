@@ -1,0 +1,143 @@
+// Command minoaner resolves the entities of two knowledge bases and prints
+// the matches as tab-separated URI pairs.
+//
+// Usage:
+//
+//	minoaner -e1 kb1.nt -e2 kb2.nt [-format nt|tsv] [-gt truth.tsv]
+//	         [-k 2] [-K 15] [-N 3] [-theta 0.6] [-workers 0] [-rules]
+//
+// With -gt (a TSV of uri1<TAB>uri2 true matches) it also reports precision,
+// recall and F1. With -rules each output line is annotated with the
+// matching rule (R1–R3) that produced it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minoaner"
+)
+
+func main() {
+	var (
+		e1Path  = flag.String("e1", "", "path to the first KB (required)")
+		e2Path  = flag.String("e2", "", "path to the second KB (required)")
+		format  = flag.String("format", "nt", "input format: nt (N-Triples) or tsv")
+		gtPath  = flag.String("gt", "", "optional ground truth TSV (uri1<TAB>uri2) for evaluation")
+		nameK   = flag.Int("k", 2, "name attributes per KB (paper parameter k)")
+		topK    = flag.Int("K", 15, "candidates per entity per weight (paper parameter K)")
+		relN    = flag.Int("N", 3, "most important relations per entity (paper parameter N)")
+		theta   = flag.Float64("theta", 0.6, "rank-aggregation trade-off θ in (0,1)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		rules   = flag.Bool("rules", false, "annotate matches with the producing rule")
+		quiet   = flag.Bool("quiet", false, "suppress the summary on stderr")
+	)
+	flag.Parse()
+	if *e1Path == "" || *e2Path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	k1, err := loadKB("E1", *e1Path, *format)
+	exitOn(err)
+	k2, err := loadKB("E2", *e2Path, *format)
+	exitOn(err)
+
+	cfg := minoaner.DefaultConfig()
+	cfg.NameK = *nameK
+	cfg.TopK = *topK
+	cfg.RelN = *relN
+	cfg.Theta = *theta
+	cfg.Workers = *workers
+
+	out, err := minoaner.Resolve(k1, k2, cfg)
+	exitOn(err)
+
+	w := bufio.NewWriter(os.Stdout)
+	for _, m := range out.Matches {
+		if *rules {
+			fmt.Fprintf(w, "%s\t%s\t%s\n", k1.Entity(m.Pair.E1).URI, k2.Entity(m.Pair.E2).URI, m.Rule)
+		} else {
+			fmt.Fprintf(w, "%s\t%s\n", k1.Entity(m.Pair.E1).URI, k2.Entity(m.Pair.E2).URI)
+		}
+	}
+	exitOn(w.Flush())
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "minoaner: %s vs %s: %d matches (graph %d edges, purged %d blocks) in %v\n",
+			k1.Name(), k2.Name(), len(out.Matches), out.GraphEdges, out.PurgedBlocks, out.Timings.Total)
+	}
+	if *gtPath != "" {
+		gt, skipped, err := loadGroundTruth(k1, k2, *gtPath)
+		exitOn(err)
+		var pairs []minoaner.Pair
+		for _, m := range out.Matches {
+			pairs = append(pairs, m.Pair)
+		}
+		m := minoaner.Evaluate(pairs, gt)
+		fmt.Fprintf(os.Stderr, "minoaner: %s (skipped %d unknown ground-truth URIs)\n", m, skipped)
+	}
+}
+
+func loadKB(name, path, format string) (*minoaner.KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var (
+		k       *minoaner.KB
+		skipped int
+	)
+	switch format {
+	case "nt":
+		k, skipped, err = minoaner.LoadNTriples(name, f, true)
+	case "tsv":
+		k, skipped, err = minoaner.LoadTSV(name, f, true)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want nt or tsv)", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "minoaner: %s: skipped %d malformed lines\n", path, skipped)
+	}
+	return k, nil
+}
+
+func loadGroundTruth(k1, k2 *minoaner.KB, path string) (*minoaner.GroundTruth, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var uriPairs [][2]string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		uriPairs = append(uriPairs, [2]string{parts[0], parts[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	gt, skipped := minoaner.GroundTruthFromURIs(k1, k2, uriPairs)
+	return gt, skipped, nil
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minoaner:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Music catalog integration: the high-Variety scenario that motivates the
+// paper (§1) — a small curated music KB against a large, noisy web-extracted
+// one (BBCmusic vs DBpedia in the paper's evaluation).
+//
+// The web KB uses ~5× more attributes, fragments its relations across many
+// predicates, and describes each artist with far more (mostly irrelevant)
+// text, so normalized value similarities are useless for most matches.
+// MinoanER still resolves them by combining discovered names, infrequent
+// shared tokens and neighbor evidence.
+//
+// Run with: go run ./examples/music
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minoaner"
+)
+
+func main() {
+	// Generate the BBCmusic-DBpedia-profiled benchmark at 1/10 scale:
+	// 400 curated artists/bands vs 1,200 web-extracted descriptions.
+	profile := minoaner.ScaleProfile(minoaner.BBCMusicDBpediaProfile(), 0.1)
+	dataset, err := minoaner.GenerateBenchmark(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k1, k2 := dataset.K1, dataset.K2
+	fmt.Printf("curated KB:  %v (%d attributes, %d relations)\n", k1, k1.Attributes(), k1.RelationNames())
+	fmt.Printf("web KB:      %v (%d attributes, %d relations)\n", k2, k2.Attributes(), k2.RelationNames())
+	fmt.Printf("token volume per description: %.1f vs %.1f (the Variety skew)\n\n",
+		k1.AverageTokens(), k2.AverageTokens())
+
+	out, err := minoaner.Resolve(k1, k2, minoaner.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := minoaner.Evaluate(out.Pairs(), dataset.GT)
+	fmt.Printf("MinoanER: %d matches, %s\n", len(out.Matches), m)
+
+	// Rule attribution shows where the matches come from on high-Variety
+	// data: names and neighbor evidence carry what value similarity cannot.
+	byRule := map[string]int{}
+	for _, match := range out.Matches {
+		byRule[match.Rule.String()]++
+	}
+	fmt.Printf("per rule: R1(names)=%d R2(values)=%d R3(rank aggregation)=%d, R4 removed %d\n\n",
+		byRule["R1"], byRule["R2"], byRule["R3"], out.RemovedByR4)
+
+	// Contrast with a value-only view of the same data: PARIS, which seeds
+	// from exact literals, collapses under the web KB's formatting noise.
+	paris := minoaner.PARISBaseline(k1, k2)
+	pm := minoaner.Evaluate(paris, dataset.GT)
+	fmt.Printf("PARIS baseline on the same pair: %s\n", pm)
+}

@@ -1,0 +1,68 @@
+// Quickstart: resolve two tiny hand-built knowledge bases — the running
+// example of the paper's Figure 1 (the Fat Duck restaurant described by a
+// Wikidata-like and a DBpedia-like KB) — and print the matches with the
+// rule that found each one.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minoaner"
+)
+
+func main() {
+	// The Wikidata-like side: Restaurant1, its chef, its village, and the
+	// country, linked through hasChef / territorial / inCountry relations.
+	w := minoaner.NewBuilder("Wikidata")
+	r1 := w.AddEntity("w:Restaurant1")
+	w.AddLiteral(r1, "label", "The Fat Duck")
+	w.AddLiteral(r1, "stars", "3 Michelin")
+	w.AddObject(r1, "hasChef", "w:JohnLakeA")
+	w.AddObject(r1, "territorial", "w:Bray")
+	w.AddObject(r1, "inCountry", "w:UK")
+	chef := w.AddEntity("w:JohnLakeA")
+	w.AddLiteral(chef, "label", "John Lake A")
+	w.AddLiteral(chef, "alias", "J. Lake")
+	bray := w.AddEntity("w:Bray")
+	w.AddLiteral(bray, "label", "Bray")
+	w.AddLiteral(bray, "description", "village Berkshire England")
+	uk := w.AddEntity("w:UK")
+	w.AddLiteral(uk, "label", "United Kingdom")
+	wikidata := w.Build()
+
+	// The DBpedia-like side describes the same entities with a different
+	// schema: other attribute names, other relation names, no alignment.
+	d := minoaner.NewBuilder("DBpedia")
+	r2 := d.AddEntity("d:Restaurant2")
+	d.AddLiteral(r2, "name", "The Fat Duck restaurant")
+	d.AddObject(r2, "headChef", "d:JonnyLake")
+	d.AddObject(r2, "county", "d:Berkshire")
+	jonny := d.AddEntity("d:JonnyLake")
+	d.AddLiteral(jonny, "name", "Jonny Lake")
+	d.AddLiteral(jonny, "nick", "J. Lake")
+	berks := d.AddEntity("d:Berkshire")
+	d.AddLiteral(berks, "name", "Berkshire")
+	d.AddLiteral(berks, "comment", "county England Bray village")
+	eng := d.AddEntity("d:England")
+	d.AddLiteral(eng, "name", "England")
+	d.AddLiteral(eng, "nick", "Albion")
+	d.AddObject(berks, "partOf", "d:England")
+	dbpedia := d.Build()
+
+	out, err := minoaner.Resolve(wikidata, dbpedia, minoaner.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("resolved %s against %s: %d matches\n\n", wikidata, dbpedia, len(out.Matches))
+	for _, m := range out.Matches {
+		fmt.Printf("  %-14s = %-14s (found by %s)\n",
+			wikidata.Entity(m.Pair.E1).URI, dbpedia.Entity(m.Pair.E2).URI, m.Rule)
+	}
+	fmt.Printf("\ndiscovered name attributes: %v / %v\n", out.NameAttrs1, out.NameAttrs2)
+	fmt.Printf("pipeline stages: stats=%v blocking=%v graph=%v matching=%v\n",
+		out.Timings.Statistics, out.Timings.Blocking, out.Timings.Graph, out.Timings.Matching)
+}

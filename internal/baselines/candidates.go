@@ -1,0 +1,59 @@
+// Package baselines reimplements the systems MinoanER is compared against in
+// Table 3 of the paper: the heavily fine-tuned value-only baseline BSL, the
+// probabilistic matcher PARIS [33], the greedy collective matcher SiGMa
+// [21], a RiMOM-IM-style iterative matcher [31], and a LINDA-style variant
+// [4]. None of the original implementations is available for this setting
+// (see DESIGN.md), so each is rebuilt from its published description with
+// the characteristics the paper's §5 discussion relies on.
+package baselines
+
+import (
+	"sort"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+)
+
+// CandidatePairs enumerates the distinct cross-KB pairs suggested by the
+// block collections — the unpruned disjunctive blocking graph's edge set,
+// which is exactly what the paper feeds to BSL. A non-positive limit means
+// unlimited; otherwise enumeration stops after limit pairs (guarding
+// against un-purged stop-word blocks).
+func CandidatePairs(limit int, collections ...*blocking.Collection) []eval.Pair {
+	seen := make(map[eval.Pair]struct{})
+	for _, c := range collections {
+		if c == nil {
+			continue
+		}
+		for i := range c.Blocks {
+			b := &c.Blocks[i]
+			for _, e1 := range b.E1 {
+				for _, e2 := range b.E2 {
+					p := eval.Pair{E1: e1, E2: e2}
+					if _, ok := seen[p]; ok {
+						continue
+					}
+					seen[p] = struct{}{}
+					if limit > 0 && len(seen) >= limit {
+						return sortedPairs(seen)
+					}
+				}
+			}
+		}
+	}
+	return sortedPairs(seen)
+}
+
+func sortedPairs(set map[eval.Pair]struct{}) []eval.Pair {
+	out := make([]eval.Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}

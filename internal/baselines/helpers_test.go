@@ -1,0 +1,12 @@
+package baselines
+
+import "minoaner/internal/similarity"
+
+// vecFor builds a finalized vector for tests without exposing internals.
+func vecFor(terms map[string]float64) *similarity.Vector {
+	v := similarity.Vector{Terms: terms}
+	for _, w := range terms {
+		v.L1 += w
+	}
+	return &v
+}

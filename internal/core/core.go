@@ -1,0 +1,201 @@
+// Package core wires the MinoanER stages into the end-to-end, non-iterative,
+// massively parallel pipeline of the paper (Figure 4): statistics extraction
+// (names, relation importance, top neighbors), composite blocking (name ∥
+// token, with Block Purging), disjunctive blocking graph construction
+// (Algorithm 1) and the four-rule matching process (Algorithm 2).
+//
+// The pipeline is configured by the paper's four parameters — k (name
+// attributes), K (candidates per node), N (top relations) and θ (rank
+// aggregation trade-off) — plus the worker count of the parallel engine.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/eval"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+	"minoaner/internal/matching"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// Config holds the MinoanER parameters. The defaults reproduce the paper's
+// suggested global configuration (k, K, N, θ) = (2, 15, 3, 0.6) (§6.1).
+type Config struct {
+	// NameK (paper: k) is the number of top name attributes per KB.
+	NameK int
+	// TopK (paper: K) is the number of candidates kept per node per weight.
+	TopK int
+	// RelN (paper: N) is the number of most important relations per entity.
+	RelN int
+	// Theta (paper: θ) trades value-based against neighbor-based ranks in R3.
+	Theta float64
+	// MaxBlockFraction is the Block Purging cap (§3.3): token blocks whose
+	// comparison count exceeds this fraction of |E1|·|E2| correspond to
+	// highly frequent, stop-word-like tokens and are removed. The paper
+	// reports that purging leaves two orders of magnitude fewer comparisons
+	// than brute force without hurting recall. Zero disables purging.
+	MaxBlockFraction float64
+	// Workers sets the parallel engine size; 0 uses all cores.
+	Workers int
+	// Rules toggles individual matching rules and neighbor evidence; the
+	// zero value means "all rules enabled" (see normalize).
+	Rules *matching.Config
+}
+
+// DefaultConfig returns the paper's global configuration.
+func DefaultConfig() Config {
+	return Config{
+		NameK:            2,
+		TopK:             15,
+		RelN:             3,
+		Theta:            0.6,
+		MaxBlockFraction: 0.0005,
+	}
+}
+
+// normalize fills zero fields with defaults and validates ranges.
+func (c Config) normalize() (Config, error) {
+	d := DefaultConfig()
+	if c.NameK == 0 {
+		c.NameK = d.NameK
+	}
+	if c.TopK == 0 {
+		c.TopK = d.TopK
+	}
+	if c.RelN == 0 {
+		c.RelN = d.RelN
+	}
+	if c.Theta == 0 {
+		c.Theta = d.Theta
+	}
+	if c.NameK < 0 || c.TopK <= 0 || c.RelN < 0 {
+		return c, fmt.Errorf("core: invalid config: k=%d K=%d N=%d must be non-negative (K positive)", c.NameK, c.TopK, c.RelN)
+	}
+	if c.Theta <= 0 || c.Theta >= 1 {
+		return c, fmt.Errorf("core: invalid config: θ=%v must lie in (0,1)", c.Theta)
+	}
+	if c.Rules == nil {
+		mc := matching.DefaultConfig()
+		c.Rules = &mc
+	}
+	return c, nil
+}
+
+// Timings records wall-clock durations per pipeline stage; the matching
+// share of total time is reported in §6.2.
+type Timings struct {
+	Statistics time.Duration
+	Blocking   time.Duration
+	Graph      time.Duration
+	Matching   time.Duration
+	Total      time.Duration
+}
+
+// Output is the result of one pipeline run.
+type Output struct {
+	// Matches holds the detected correspondences with rule provenance.
+	Matches []matching.Match
+	// RemovedByR4 counts reciprocity-filtered matches.
+	RemovedByR4 int
+	// NameBlocks / TokenBlocks are the block collections after purging
+	// (Table 2 statistics are computed from them).
+	NameBlocks, TokenBlocks *blocking.Collection
+	// PurgedBlocks is the number of token blocks removed by Block Purging;
+	// PurgeThreshold the applied per-block comparison cap (0 = none).
+	PurgedBlocks   int
+	PurgeThreshold int64
+	// GraphEdges is the number of directed edges retained after pruning.
+	GraphEdges int
+	// NameAttrs1/NameAttrs2 are the discovered name attributes per KB.
+	NameAttrs1, NameAttrs2 []string
+	// Timings holds per-stage durations.
+	Timings Timings
+}
+
+// Pairs returns the bare match pairs.
+func (o *Output) Pairs() []eval.Pair {
+	out := make([]eval.Pair, len(o.Matches))
+	for i, m := range o.Matches {
+		out[i] = m.Pair
+	}
+	return out
+}
+
+// Resolve runs the full MinoanER pipeline on two clean KBs.
+func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	eng := parallel.New(cfg.Workers)
+	out := &Output{}
+	start := time.Now()
+
+	// Stage 1 — statistics: name attributes, relation importance and top
+	// neighbors for both KBs; independent computations run concurrently
+	// (Figure 4's left column).
+	t0 := time.Now()
+	var (
+		ord1, ord2 map[string]int
+		top1, top2 [][]kb.EntityID
+	)
+	eng.Concurrent(
+		func() { out.NameAttrs1 = stats.NameAttributes(eng, k1, cfg.NameK) },
+		func() { out.NameAttrs2 = stats.NameAttributes(eng, k2, cfg.NameK) },
+		func() { ord1 = stats.GlobalRelationOrder(stats.RelationImportances(eng, k1)) },
+		func() { ord2 = stats.GlobalRelationOrder(stats.RelationImportances(eng, k2)) },
+	)
+	eng.Concurrent(
+		func() { top1 = stats.TopNeighbors(eng, k1, ord1, cfg.RelN) },
+		func() { top2 = stats.TopNeighbors(eng, k2, ord2, cfg.RelN) },
+	)
+	out.Timings.Statistics = time.Since(t0)
+
+	// Stage 2 — composite blocking: name blocking ∥ token blocking, then
+	// Block Purging of stop-word token blocks.
+	t0 = time.Now()
+	var nameBlocks, tokenBlocks *blocking.Collection
+	eng.Concurrent(
+		func() { nameBlocks = blocking.NameBlocks(eng, k1, k2, out.NameAttrs1, out.NameAttrs2) },
+		func() { tokenBlocks = blocking.TokenBlocks(eng, k1, k2) },
+	)
+	if cfg.MaxBlockFraction > 0 {
+		cap := int64(float64(k1.Len()) * float64(k2.Len()) * cfg.MaxBlockFraction)
+		if cap < 1 {
+			cap = 1
+		}
+		out.PurgeThreshold = cap
+		tokenBlocks, out.PurgedBlocks = blocking.PurgeAbove(tokenBlocks, cap)
+	}
+	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
+	out.Timings.Blocking = time.Since(t0)
+
+	// Stage 3 — disjunctive blocking graph (Algorithm 1).
+	t0 = time.Now()
+	g := graph.Build(eng, graph.Input{
+		K1: k1, K2: k2,
+		NameBlocks:  nameBlocks,
+		TokenBlocks: tokenBlocks,
+		Top1:        top1,
+		Top2:        top2,
+		K:           cfg.TopK,
+	})
+	out.GraphEdges = g.Edges()
+	out.Timings.Graph = time.Since(t0)
+
+	// Stage 4 — non-iterative matching (Algorithm 2).
+	t0 = time.Now()
+	mc := *cfg.Rules
+	mc.Theta = cfg.Theta
+	res := matching.Run(eng, g, k1, k2, mc)
+	out.Matches = res.Matches
+	out.RemovedByR4 = res.RemovedByR4
+	out.Timings.Matching = time.Since(t0)
+
+	out.Timings.Total = time.Since(start)
+	return out, nil
+}

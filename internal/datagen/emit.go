@@ -1,0 +1,407 @@
+package datagen
+
+import (
+	"fmt"
+	"strconv"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// Token emission helpers. Pool tokens are shared across both KBs (that is
+// what makes them cross-KB matching evidence); rare tokens are globally
+// unique unless explicitly reused for a matching pair.
+
+func (g *generator) commonToken() string {
+	return "c" + strconv.Itoa(g.rng.Intn(maxInt(g.p.CommonPool, 1)))
+}
+func (g *generator) midToken() string { return "m" + strconv.Itoa(g.rng.Intn(maxInt(g.p.MidPool, 1))) }
+func (g *generator) nameToken() string {
+	return "n" + strconv.Itoa(g.rng.Intn(maxInt(g.p.NamePool, 1)))
+}
+
+func (g *generator) rareToken() string {
+	g.rareSeq++
+	return "r" + strconv.Itoa(g.rareSeq)
+}
+
+func (g *generator) semiToken() string {
+	return "s" + strconv.Itoa(g.rng.Intn(maxInt(g.p.SemiPool, 1)))
+}
+
+func (g *generator) lowToken() string {
+	return "l" + strconv.Itoa(g.rng.Intn(maxInt(g.p.LowPool, 1)))
+}
+
+// strongSharedToken picks the identity evidence of a strong match: globally
+// unique by default, or semi-rare with probability PSemiShared.
+func (g *generator) strongSharedToken() string {
+	if g.rng.Float64() < g.p.PSemiShared {
+		return g.semiToken()
+	}
+	return g.rareToken()
+}
+
+// makeUniqueName builds a person/title-like name — two pool tokens plus a
+// year-like numeral — that no other entity of either KB uses. All three
+// constituents come from high-frequency pools whose token blocks are purged,
+// so the *tokens* carry no retained value evidence while the full *value*
+// stays globally unique (the signal R1 needs).
+func (g *generator) makeUniqueName() string {
+	for {
+		name := g.nameToken() + " " + g.nameToken() + " " +
+			strconv.Itoa(1900+g.rng.Intn(maxInt(g.p.YearPool, 1)))
+		if !g.usedNames[name] {
+			g.usedNames[name] = true
+			return name
+		}
+	}
+}
+
+// attrName returns the i-th literal attribute of side k, namespaced into the
+// side's vocabularies (Table 1's "vocab." row).
+func (g *generator) attrName(side, i int) string {
+	return g.p.AttrName(side, i)
+}
+
+// AttrName exposes the attribute naming scheme: attribute i of side k,
+// prefixed by one of the side's vocabulary namespaces. Index 0 is the name
+// attribute, index 1 the type attribute.
+func (p Profile) AttrName(side, i int) string {
+	vocabs := p.Vocab1
+	if side == 2 {
+		vocabs = p.Vocab2
+	}
+	return fmt.Sprintf("v%d:a%d", i%maxInt(vocabs, 1), i)
+}
+
+// NameAttr returns the designated name attribute of side k.
+func (p Profile) NameAttr(side int) string { return p.AttrName(side, 0) }
+
+// TypeAttr returns the designated type attribute of side k.
+func (p Profile) TypeAttr(side int) string { return p.AttrName(side, 1) }
+
+// relName returns the i-th relation predicate of side k.
+func (g *generator) relName(side, i int) string {
+	vocabs := g.p.Vocab1
+	if side == 2 {
+		vocabs = g.p.Vocab2
+	}
+	return fmt.Sprintf("v%d:r%d", i%maxInt(vocabs, 1), i)
+}
+
+// sharedTokens draws the cross-KB token evidence for one match category.
+func (g *generator) sharedTokens(cat TokenCategory) []string {
+	var out []string
+	switch cat {
+	case Strong:
+		for n := maxInt(g.p.StrongRare, 2) + g.rng.Intn(3); n > 0; n-- {
+			out = append(out, g.strongSharedToken())
+		}
+		for n := maxInt(g.p.StrongMid, 1) + g.rng.Intn(2); n > 0; n-- {
+			out = append(out, g.midToken())
+		}
+	case Nearly:
+		n := g.p.NearlyTokens
+		if n <= 0 {
+			n = 1 + g.rng.Intn(2)
+		}
+		for ; n > 0; n-- {
+			out = append(out, g.semiToken())
+		}
+	case Weak:
+		if g.rng.Intn(2) == 0 {
+			out = append(out, g.semiToken())
+		}
+	}
+	return out
+}
+
+// ownTokens draws the side-private tokens of one description. includeLow
+// controls the low-frequency stratum: matched identities and E2 distractors
+// draw it (supplying the blocking graph's comparison volume), while E1
+// distractors do not — the small KBs of the paper's benchmarks are curated,
+// and their unmatched entities end up token-isolated once frequent blocks
+// are purged, which is what keeps MinoanER's precision high there.
+func (g *generator) ownTokens(side int, includeLow bool) []string {
+	mid, common, rare, low := g.p.MidOwn1, g.p.CommonOwn1, g.p.RareOwn1, g.p.LowOwn1
+	if side == 2 {
+		mid, common, rare, low = g.p.MidOwn2, g.p.CommonOwn2, g.p.RareOwn2, g.p.LowOwn2
+	}
+	if !includeLow {
+		low = 0
+	}
+	var out []string
+	for i := 0; i < mid; i++ {
+		out = append(out, g.midToken())
+	}
+	for i := 0; i < common; i++ {
+		out = append(out, g.commonToken())
+	}
+	for i := 0; i < rare; i++ {
+		out = append(out, g.rareToken())
+	}
+	for i := 0; i < low; i++ {
+		out = append(out, g.lowToken())
+	}
+	return out
+}
+
+// mangle perturbs a literal's casing and separators without changing its
+// tokens or its normalized-name form.
+func (g *generator) mangle(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c == ' ':
+			if g.rng.Intn(2) == 0 {
+				out = append(out, '-')
+			} else {
+				out = append(out, ' ', ' ')
+			}
+		case c >= 'a' && c <= 'z' && g.rng.Intn(2) == 0:
+			out = append(out, c-'a'+'A')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// emitLiterals distributes tokens over the side's non-name attributes in
+// chunks of 2–4 tokens per value, plus the name and type attributes. Side-2
+// values pass through the raw-noise mangler with probability PRawValueNoise.
+func (g *generator) emitLiterals(b *kb.Builder, side int, id kb.EntityID, name string, tokens []string) {
+	noisy := func(v string) string {
+		if side == 2 && g.rng.Float64() < g.p.PRawValueNoise {
+			return g.mangle(v)
+		}
+		return v
+	}
+	b.AddLiteral(id, g.attrName(side, 0), noisy(name))
+	// Token order differs between independently curated KBs; shuffle before
+	// chunking so shared tokens do not line up into identical value strings
+	// or identical token n-grams across the two sides.
+	g.rng.Shuffle(len(tokens), func(a, b int) { tokens[a], tokens[b] = tokens[b], tokens[a] })
+	types := g.p.Types1
+	if side == 2 {
+		types = g.p.Types2
+	}
+	b.AddLiteral(id, g.attrName(side, 1), fmt.Sprintf("k%dtype%d", side, g.rng.Intn(maxInt(types, 1))))
+	attrs := g.p.Attrs1
+	if side == 2 {
+		attrs = g.p.Attrs2
+	}
+	for len(tokens) > 0 {
+		n := 3 + g.rng.Intn(2)
+		if n > len(tokens) {
+			n = len(tokens)
+		}
+		value := ""
+		for _, t := range tokens[:n] {
+			if value != "" {
+				value += " "
+			}
+			value += t
+		}
+		tokens = tokens[n:]
+		attr := 2
+		if attrs > 2 {
+			attr = 2 + g.rng.Intn(attrs-2)
+		}
+		b.AddLiteral(id, g.attrName(side, attr), noisy(value))
+	}
+}
+
+// pickRelation selects a predicate for one edge: mostly the side's main
+// relation (index 0, high discriminability), sometimes a secondary one.
+func (g *generator) pickRelation(side int) string {
+	rels := g.p.Rels1
+	if side == 2 {
+		rels = g.p.Rels2
+	}
+	if rels <= 1 || g.rng.Float64() < 0.8 {
+		return g.relName(side, 0)
+	}
+	return g.relName(side, 1+g.rng.Intn(rels-1))
+}
+
+// hubCount is the number of hub entities per KB (targets of the
+// low-discriminability relation that the importance statistics must demote).
+const hubCount = 5
+
+func uri1(i int) string { return "e1:" + strconv.Itoa(i) }
+func uri2(i int) string { return "e2:" + strconv.Itoa(i) }
+
+// emitEntities registers and fills all entities of both KBs: matched
+// identities first (IDs align with ground-truth pairs), then per-KB
+// distractors, with hub entities at the tail of each KB.
+func (g *generator) emitEntities() map[eval.Pair]MatchProfile {
+	p := g.p
+	m := p.Matches
+	// Register everything first so relation targets resolve at Build time.
+	// Entity IDs are assigned in slot order; the slot of logical entity i is
+	// perm[i], so URIs are registered through the inverse permutation and
+	// all later emission code can keep addressing entities by their logical
+	// URI (uri1/uri2 of the logical index).
+	inv1 := make([]int, p.E1Size)
+	for logical, slot := range g.perm1 {
+		inv1[slot] = logical
+	}
+	inv2 := make([]int, p.E2Size)
+	for logical, slot := range g.perm2 {
+		inv2[slot] = logical
+	}
+	for s := 0; s < p.E1Size; s++ {
+		g.b1.AddEntity(uri1(inv1[s]))
+	}
+	for s := 0; s < p.E2Size; s++ {
+		g.b2.AddEntity(uri2(inv2[s]))
+	}
+	hub1Start := p.E1Size - minInt(hubCount, p.E1Size-m)
+	hub2Start := p.E2Size - minInt(hubCount, p.E2Size-m)
+
+	profiles := make(map[eval.Pair]MatchProfile, m)
+	for i := 0; i < m; i++ {
+		shared := g.sharedTokens(g.cat[i])
+		var name1, name2 string
+		if g.hasName[i] {
+			name1 = g.makeUniqueName()
+			name2 = name1
+		} else {
+			name1 = g.makeUniqueName()
+			name2 = g.makeUniqueName()
+		}
+		own2 := g.ownTokens(2, true)
+		tokens1 := append(append([]string{}, shared...), g.ownTokens(1, true)...)
+		tokens2 := append(append([]string{}, shared...), own2...)
+		g.emitLiterals(g.b1, 1, g.id1(i), name1, tokens1)
+		g.emitLiterals(g.b2, 2, g.id2(i), name2, tokens2)
+		g.planSequel(i, shared, own2)
+
+		mirrored := g.emitMatchedRelations(i, hub1Start, hub2Start)
+		profiles[eval.Pair{E1: g.id1(i), E2: g.id2(i)}] = MatchProfile{
+			Category:          g.cat[i],
+			HasUniqueName:     g.hasName[i],
+			MirroredNeighbors: mirrored,
+		}
+	}
+	g.emitDistractors(1, g.b1, m, p.E1Size, hub1Start)
+	g.emitDistractors(2, g.b2, m, p.E2Size, hub2Start)
+	return profiles
+}
+
+// emitMatchedRelations writes the relation edges of matched identity i on
+// both sides, following the neighbor template. Weak matches never mirror.
+// Returns whether at least one edge ended up mirrored.
+func (g *generator) emitMatchedRelations(i, hub1Start, hub2Start int) bool {
+	mirrored := false
+	pMirror := g.p.PNeighborMirror
+	if g.cat[i] == Weak {
+		pMirror = 0
+	}
+	for _, t := range g.neighbors[i] {
+		if g.rng.Float64() < pMirror {
+			g.b1.AddObject(g.id1(i), g.pickRelation(1), uri1(t))
+			g.b2.AddObject(g.id2(i), g.pickRelation(2), uri2(t))
+			mirrored = true
+			continue
+		}
+		if g.rng.Intn(2) == 0 {
+			g.b1.AddObject(g.id1(i), g.pickRelation(1), uri1(t))
+		} else {
+			g.b2.AddObject(g.id2(i), g.pickRelation(2), uri2(t))
+		}
+	}
+	// Occasional hub link: many subjects, one of few objects → the hub
+	// relation has low discriminability and must lose the importance race.
+	if g.rng.Float64() < 0.3 {
+		if hub1Start < g.p.E1Size {
+			g.b1.AddObject(g.id1(i), g.relName(1, 0)+"hub", uri1(hub1Start+g.rng.Intn(g.p.E1Size-hub1Start)))
+		}
+		if hub2Start < g.p.E2Size {
+			g.b2.AddObject(g.id2(i), g.relName(2, 0)+"hub", uri2(hub2Start+g.rng.Intn(g.p.E2Size-hub2Start)))
+		}
+	}
+	return mirrored
+}
+
+// planSequel records a near-duplicate E2 distractor for matched identity i
+// with probability PHardDistractor: one planted evidence token, ~60% of the
+// identity's E2 noise tokens, and possibly one of its neighbor targets.
+func (g *generator) planSequel(i int, shared, own2 []string) {
+	if g.rng.Float64() >= g.p.PHardDistractor {
+		return
+	}
+	var tokens []string
+	// Copy the semi-rare and mid evidence tokens — sequels of a franchise
+	// share its title vocabulary — but never the globally unique (rare)
+	// disambiguators. Absolute valueSim therefore still prefers the true
+	// match (its rare tokens each contribute weight 1), while normalized
+	// similarities see the sequel as at least as close as the true match.
+	for _, t := range shared {
+		if len(t) > 0 && t[0] != 'r' {
+			tokens = append(tokens, t)
+		}
+	}
+	for _, t := range own2 {
+		if g.rng.Float64() < 0.6 {
+			tokens = append(tokens, t)
+		}
+	}
+	neighbor := -1
+	if len(g.neighbors[i]) > 0 && g.rng.Intn(2) == 0 {
+		neighbor = g.neighbors[i][g.rng.Intn(len(g.neighbors[i]))]
+	}
+	g.sequelPlans = append(g.sequelPlans, sequelPlan{identity: i, tokens: tokens, neighbor: neighbor})
+}
+
+// emitDistractors fills the per-KB-only entities: private tokens, unique
+// names, random edges into the matched population (in-neighbor noise). On
+// side 2, the first distractor slots realize the planned sequels.
+func (g *generator) emitDistractors(side int, b *kb.Builder, from, to, hubStart int) {
+	plans := g.sequelPlans
+	for i := from; i < to; i++ {
+		var id kb.EntityID
+		if side == 1 {
+			id = g.id1(i)
+		} else {
+			id = g.id2(i)
+		}
+		if side == 2 && len(plans) > 0 && i < hubStart {
+			plan := plans[0]
+			plans = plans[1:]
+			tokens := append(append([]string{}, plan.tokens...), g.midToken(), g.lowToken())
+			g.emitLiterals(b, side, id, g.makeUniqueName(), tokens)
+			if plan.neighbor >= 0 {
+				b.AddObject(id, g.pickRelation(side), uri2(plan.neighbor))
+			}
+			continue
+		}
+		name := g.makeUniqueName()
+		g.emitLiterals(b, side, id, name, g.ownTokens(side, side == 2))
+		if i >= hubStart {
+			continue // hubs stay simple: label + type only
+		}
+		if g.rng.Float64() >= g.p.PDistractorLink {
+			continue // leaf distractor (e.g. an address entity)
+		}
+		deg := 1 + g.rng.Intn(maxInt(g.p.NeighborsPerEntity, 1))
+		for d := 0; d < deg; d++ {
+			t := g.rng.Intn(g.p.Matches)
+			if side == 1 {
+				b.AddObject(id, g.pickRelation(side), uri1(t))
+			} else {
+				b.AddObject(id, g.pickRelation(side), uri2(t))
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package datagen
+
+import "minoaner/internal/kb"
+
+// Table1Row holds the measured dataset statistics reported in Table 1 of
+// the paper, computed from the generated KBs (not echoed from the profile).
+type Table1Row struct {
+	Dataset          string
+	E1Entities       int
+	E2Entities       int
+	E1Triples        int
+	E2Triples        int
+	E1AvgTokens      float64
+	E2AvgTokens      float64
+	E1Attrs, E2Attrs int
+	E1Rels, E2Rels   int
+	E1Types, E2Types int
+	E1Vocab, E2Vocab int
+	Matches          int
+}
+
+// Table1 measures the dataset's Table 1 statistics.
+func (d *Dataset) Table1() Table1Row {
+	return Table1Row{
+		Dataset:     d.Profile.Name,
+		E1Entities:  d.K1.Len(),
+		E2Entities:  d.K2.Len(),
+		E1Triples:   d.K1.Triples(),
+		E2Triples:   d.K2.Triples(),
+		E1AvgTokens: d.K1.AverageTokens(),
+		E2AvgTokens: d.K2.AverageTokens(),
+		E1Attrs:     d.K1.Attributes(),
+		E2Attrs:     d.K2.Attributes(),
+		E1Rels:      d.K1.RelationNames(),
+		E2Rels:      d.K2.RelationNames(),
+		E1Types:     countTypes(d.K1, d.Profile.TypeAttr(1)),
+		E2Types:     countTypes(d.K2, d.Profile.TypeAttr(2)),
+		E1Vocab:     d.Profile.Vocab1,
+		E2Vocab:     d.Profile.Vocab2,
+		Matches:     d.GT.Len(),
+	}
+}
+
+// countTypes counts the distinct values of the type attribute.
+func countTypes(k *kb.KB, typeAttr string) int {
+	set := make(map[string]struct{})
+	for i := 0; i < k.Len(); i++ {
+		for _, v := range k.Entity(kb.EntityID(i)).Values(typeAttr) {
+			set[v] = struct{}{}
+		}
+	}
+	return len(set)
+}

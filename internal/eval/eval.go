@@ -1,0 +1,142 @@
+// Package eval provides ground-truth handling and the precision / recall /
+// F1 accounting used throughout the paper's evaluation (§6).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"minoaner/internal/kb"
+)
+
+// Pair is one cross-KB correspondence: an entity of E1 matched to an entity
+// of E2.
+type Pair struct {
+	E1 kb.EntityID
+	E2 kb.EntityID
+}
+
+// GroundTruth is the set of true matches between two KBs. The benchmarks of
+// the paper are clean-clean: every entity participates in at most one true
+// match.
+type GroundTruth struct {
+	pairs map[Pair]struct{}
+	byE1  map[kb.EntityID]kb.EntityID
+	byE2  map[kb.EntityID]kb.EntityID
+}
+
+// NewGroundTruth builds a GroundTruth from pairs, deduplicating repeats.
+func NewGroundTruth(pairs []Pair) *GroundTruth {
+	g := &GroundTruth{
+		pairs: make(map[Pair]struct{}, len(pairs)),
+		byE1:  make(map[kb.EntityID]kb.EntityID, len(pairs)),
+		byE2:  make(map[kb.EntityID]kb.EntityID, len(pairs)),
+	}
+	for _, p := range pairs {
+		g.pairs[p] = struct{}{}
+		g.byE1[p.E1] = p.E2
+		g.byE2[p.E2] = p.E1
+	}
+	return g
+}
+
+// Len returns the number of true matches.
+func (g *GroundTruth) Len() int { return len(g.pairs) }
+
+// Contains reports whether p is a true match.
+func (g *GroundTruth) Contains(p Pair) bool {
+	_, ok := g.pairs[p]
+	return ok
+}
+
+// MatchOfE1 returns the true match of an E1 entity, or (NoEntity, false).
+func (g *GroundTruth) MatchOfE1(e kb.EntityID) (kb.EntityID, bool) {
+	m, ok := g.byE1[e]
+	if !ok {
+		return kb.NoEntity, false
+	}
+	return m, true
+}
+
+// MatchOfE2 returns the true match of an E2 entity, or (NoEntity, false).
+func (g *GroundTruth) MatchOfE2(e kb.EntityID) (kb.EntityID, bool) {
+	m, ok := g.byE2[e]
+	if !ok {
+		return kb.NoEntity, false
+	}
+	return m, true
+}
+
+// Pairs returns all true matches sorted by (E1, E2) for deterministic
+// iteration.
+func (g *GroundTruth) Pairs() []Pair {
+	out := make([]Pair, 0, len(g.pairs))
+	for p := range g.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}
+
+// Metrics is the standard effectiveness triple. Values are fractions in
+// [0, 1]; the tables in EXPERIMENTS.md format them as percentages to match
+// the paper.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TruePositives, Returned and Expected expose the raw counts.
+	TruePositives int
+	Returned      int
+	Expected      int
+}
+
+// Evaluate scores a proposed match set against the ground truth.
+func Evaluate(matches []Pair, gt *GroundTruth) Metrics {
+	m := Metrics{Returned: len(matches), Expected: gt.Len()}
+	seen := make(map[Pair]struct{}, len(matches))
+	for _, p := range matches {
+		if _, dup := seen[p]; dup {
+			m.Returned--
+			continue
+		}
+		seen[p] = struct{}{}
+		if gt.Contains(p) {
+			m.TruePositives++
+		}
+	}
+	if m.Returned > 0 {
+		m.Precision = float64(m.TruePositives) / float64(m.Returned)
+	}
+	if m.Expected > 0 {
+		m.Recall = float64(m.TruePositives) / float64(m.Expected)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// String formats the metrics as percentages, e.g. "P=91.44 R=88.55 F1=89.97".
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f", 100*m.Precision, 100*m.Recall, 100*m.F1)
+}
+
+// PairsFromURIs converts URI-level correspondences into ID pairs, skipping
+// (and counting) pairs whose URIs are absent from either KB.
+func PairsFromURIs(k1, k2 *kb.KB, uriPairs [][2]string) (pairs []Pair, skipped int) {
+	for _, up := range uriPairs {
+		e1, e2 := k1.Lookup(up[0]), k2.Lookup(up[1])
+		if e1 == kb.NoEntity || e2 == kb.NoEntity {
+			skipped++
+			continue
+		}
+		pairs = append(pairs, Pair{e1, e2})
+	}
+	return pairs, skipped
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/testkb"
+)
+
+func TestGroundTruthBasics(t *testing.T) {
+	gt := NewGroundTruth([]Pair{{1, 10}, {2, 20}, {1, 10}}) // duplicate collapses
+	if gt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", gt.Len())
+	}
+	if !gt.Contains(Pair{1, 10}) || gt.Contains(Pair{1, 20}) {
+		t.Error("Contains misbehaves")
+	}
+	if m, ok := gt.MatchOfE1(1); !ok || m != 10 {
+		t.Errorf("MatchOfE1(1) = %v,%v", m, ok)
+	}
+	if m, ok := gt.MatchOfE2(20); !ok || m != 2 {
+		t.Errorf("MatchOfE2(20) = %v,%v", m, ok)
+	}
+	if _, ok := gt.MatchOfE1(99); ok {
+		t.Error("MatchOfE1(99) should be absent")
+	}
+	ps := gt.Pairs()
+	if len(ps) != 2 || ps[0] != (Pair{1, 10}) || ps[1] != (Pair{2, 20}) {
+		t.Errorf("Pairs = %v, want sorted", ps)
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	gt := NewGroundTruth([]Pair{{1, 1}, {2, 2}})
+	m := Evaluate([]Pair{{1, 1}, {2, 2}}, gt)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect run = %+v", m)
+	}
+}
+
+func TestEvaluateMixed(t *testing.T) {
+	gt := NewGroundTruth([]Pair{{1, 1}, {2, 2}, {3, 3}, {4, 4}})
+	m := Evaluate([]Pair{{1, 1}, {2, 9}}, gt)
+	if m.TruePositives != 1 || m.Returned != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if m.Precision != 0.5 || m.Recall != 0.25 {
+		t.Errorf("P=%v R=%v, want 0.5, 0.25", m.Precision, m.Recall)
+	}
+	wantF1 := 2 * 0.5 * 0.25 / 0.75
+	if math.Abs(m.F1-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", m.F1, wantF1)
+	}
+}
+
+func TestEvaluateDuplicatesIgnored(t *testing.T) {
+	gt := NewGroundTruth([]Pair{{1, 1}})
+	m := Evaluate([]Pair{{1, 1}, {1, 1}, {1, 1}}, gt)
+	if m.Returned != 1 || m.Precision != 1 {
+		t.Errorf("duplicate matches should count once: %+v", m)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	gt := NewGroundTruth(nil)
+	m := Evaluate(nil, gt)
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Errorf("empty everything = %+v, want zeros", m)
+	}
+	gt2 := NewGroundTruth([]Pair{{1, 1}})
+	m2 := Evaluate(nil, gt2)
+	if m2.Recall != 0 || m2.F1 != 0 {
+		t.Errorf("no matches = %+v", m2)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Precision: 0.9144, Recall: 0.8855, F1: 0.8997}
+	if got := m.String(); got != "P=91.44 R=88.55 F1=89.97" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPairsFromURIs(t *testing.T) {
+	w, d := testkb.Figure1()
+	pairs, skipped := PairsFromURIs(w, d, [][2]string{
+		{"w:Restaurant1", "d:Restaurant2"},
+		{"w:JohnLakeA", "d:JonnyLake"},
+		{"w:Missing", "d:JonnyLake"},
+	})
+	if skipped != 1 || len(pairs) != 2 {
+		t.Fatalf("pairs=%v skipped=%d", pairs, skipped)
+	}
+	if pairs[0].E1 != w.Lookup("w:Restaurant1") || pairs[0].E2 != d.Lookup("d:Restaurant2") {
+		t.Error("wrong IDs resolved")
+	}
+	_ = kb.NoEntity
+}
+
+// Property: precision and recall are always within [0,1] and F1 is the
+// harmonic mean.
+func TestEvaluateProperty(t *testing.T) {
+	f := func(matchSeed []uint16, gtSeed []uint16) bool {
+		var matches, gts []Pair
+		for _, s := range matchSeed {
+			matches = append(matches, Pair{kb.EntityID(s % 50), kb.EntityID(s / 50 % 50)})
+		}
+		for _, s := range gtSeed {
+			gts = append(gts, Pair{kb.EntityID(s % 50), kb.EntityID(s / 50 % 50)})
+		}
+		m := Evaluate(matches, NewGroundTruth(gts))
+		if m.Precision < 0 || m.Precision > 1 || m.Recall < 0 || m.Recall > 1 {
+			return false
+		}
+		if m.Precision+m.Recall > 0 {
+			want := 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+			return math.Abs(m.F1-want) < 1e-12
+		}
+		return m.F1 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// InputFor assembles a complete Algorithm 1 input from two KBs by running
+// the upstream statistics and blocking stages with the given parameters:
+// nameK name attributes per KB (paper parameter k), topK candidates per node
+// per weight (K), and relN top relations per entity (N). Token blocks are
+// not purged here; callers that need Block Purging apply it to
+// Input.TokenBlocks before Build (the core pipeline does).
+func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
+	var (
+		n1, n2                  []string
+		ord1, ord2              map[string]int
+		nameBlocks, tokenBlocks *blocking.Collection
+	)
+	// Name discovery, relation statistics and token blocking are mutually
+	// independent — run them concurrently as in Figure 4.
+	e.Concurrent(
+		func() { n1 = stats.NameAttributes(e, k1, nameK) },
+		func() { n2 = stats.NameAttributes(e, k2, nameK) },
+		func() { ord1 = stats.GlobalRelationOrder(stats.RelationImportances(e, k1)) },
+		func() { ord2 = stats.GlobalRelationOrder(stats.RelationImportances(e, k2)) },
+		func() { tokenBlocks = blocking.TokenBlocks(e, k1, k2) },
+	)
+	nameBlocks = blocking.NameBlocks(e, k1, k2, n1, n2)
+	return Input{
+		K1: k1, K2: k2,
+		NameBlocks:  nameBlocks,
+		TokenBlocks: tokenBlocks,
+		Top1:        stats.TopNeighbors(e, k1, ord1, relN),
+		Top2:        stats.TopNeighbors(e, k2, ord2, relN),
+		K:           topK,
+	}
+}

@@ -1,0 +1,316 @@
+// Package graph implements MinoanER's disjunctive blocking graph (§3.2–3.3
+// of the paper): a compact abstraction of all candidate matches where each
+// edge between a pair of cross-KB entities carries three weights —
+//
+//	α: 1 if the pair shares a name no other entity uses (name block of size 1×1)
+//	β: valueSim, accumulated from token-block sizes (Algorithm 1, line 14)
+//	γ: neighborNSim, propagated from β-edges through top in-neighbors
+//
+// After weighting, each node keeps only its top-K edges by β and top-K by γ
+// (Algorithm 1), turning the undirected graph into a directed one — the
+// structure the matcher's reciprocity rule R4 relies on.
+//
+// Like the paper's implementation, the graph is never materialized as a
+// global edge list: each node holds only the candidate lists needed to match
+// it, which is also what makes the construction embarrassingly parallel.
+package graph
+
+import (
+	"sort"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// Edge is a directed, weighted candidate edge to an entity of the other KB.
+type Edge struct {
+	To     kb.EntityID
+	Weight float64
+}
+
+// Graph is the pruned, directed disjunctive blocking graph. Slices are
+// indexed by EntityID; *1 fields describe edges out of E1 nodes (pointing to
+// E2 entities) and *2 fields the reverse direction.
+type Graph struct {
+	// Alpha1[i] lists the E2 entities sharing a globally unique name with
+	// E1 entity i (α = 1 edges). Alpha2 is the reverse direction.
+	Alpha1, Alpha2 [][]kb.EntityID
+	// Beta1[i] holds up to K candidates sorted by decreasing valueSim.
+	Beta1, Beta2 [][]Edge
+	// Gamma1[i] holds up to K candidates sorted by decreasing neighborNSim.
+	Gamma1, Gamma2 [][]Edge
+}
+
+// Input bundles everything Algorithm 1 needs.
+type Input struct {
+	K1, K2 *kb.KB
+	// NameBlocks and TokenBlocks are the (purged) block collections of §3.1.
+	NameBlocks, TokenBlocks *blocking.Collection
+	// Top1/Top2 are the per-entity top-neighbor lists of each KB
+	// (stats.TopNeighbors); Algorithm 1 derives the in-neighbor index from
+	// them internally (procedure getTopInNeighbors).
+	Top1, Top2 [][]kb.EntityID
+	// K is the number of candidates kept per node per weight (paper default 15).
+	K int
+}
+
+// Build runs Algorithm 1: name evidence, value evidence, neighbor evidence,
+// with top-K pruning per node. All three stages are data-parallel over
+// entities; stage boundaries are synchronization barriers exactly as in the
+// Spark architecture of Figure 4.
+func Build(e *parallel.Engine, in Input) *Graph {
+	g := &Graph{
+		Alpha1: make([][]kb.EntityID, in.K1.Len()),
+		Alpha2: make([][]kb.EntityID, in.K2.Len()),
+	}
+	var beta1, beta2 [][]Edge
+	// Name evidence and the two directions of value evidence are mutually
+	// independent (Figure 4 runs them concurrently).
+	e.Concurrent(
+		func() { g.buildAlpha(in) },
+		func() { beta1 = buildBeta(e, in.TokenBlocks, in.K1, true, in.K) },
+		func() { beta2 = buildBeta(e, in.TokenBlocks, in.K2, false, in.K) },
+	)
+	g.Beta1, g.Beta2 = beta1, beta2
+	g.buildGamma(e, in)
+	return g
+}
+
+// buildAlpha scans the name blocks for 1×1 blocks: a name used by exactly
+// one entity of each KB (Algorithm 1, lines 5–9).
+func (g *Graph) buildAlpha(in Input) {
+	for i := range in.NameBlocks.Blocks {
+		b := &in.NameBlocks.Blocks[i]
+		if len(b.E1) == 1 && len(b.E2) == 1 {
+			e1, e2 := b.E1[0], b.E2[0]
+			g.Alpha1[e1] = appendUnique(g.Alpha1[e1], e2)
+			g.Alpha2[e2] = appendUnique(g.Alpha2[e2], e1)
+		}
+	}
+	for i := range g.Alpha1 {
+		sortIDs(g.Alpha1[i])
+	}
+	for i := range g.Alpha2 {
+		sortIDs(g.Alpha2[i])
+	}
+}
+
+func appendUnique(xs []kb.EntityID, x kb.EntityID) []kb.EntityID {
+	for _, y := range xs {
+		if y == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+func sortIDs(xs []kb.EntityID) {
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+}
+
+// buildBeta computes, for every entity of one side, its top-K candidates by
+// valueSim (Algorithm 1, lines 10–19). The per-token contribution is
+// 1/log2(|b1|·|b2|+1): since token-block side sizes equal the per-KB entity
+// frequencies, summing over shared blocks yields exactly Def. 2.1.
+func buildBeta(e *parallel.Engine, tokens *blocking.Collection, from *kb.KB, fromIsE1 bool, k int) [][]Edge {
+	ix := blocking.NewIndex(tokens)
+	return parallel.Map(e, from.Len(), func(i int) []Edge {
+		d := from.Entity(kb.EntityID(i))
+		var acc map[kb.EntityID]float64
+		for _, t := range d.Tokens() {
+			b := ix.Lookup(t)
+			if b == nil {
+				continue
+			}
+			w := stats.TokenWeight(len(b.E1), len(b.E2))
+			others := b.E2
+			if !fromIsE1 {
+				others = b.E1
+			}
+			if acc == nil {
+				acc = make(map[kb.EntityID]float64, len(others))
+			}
+			for _, o := range others {
+				acc[o] += w
+			}
+		}
+		return topK(acc, k)
+	})
+}
+
+// topK selects the k highest-weighted candidates, breaking ties by entity ID
+// for determinism, and returns them sorted by decreasing weight. Zero
+// weights are dropped (pruning of trivial edges, §3.3).
+func topK(acc map[kb.EntityID]float64, k int) []Edge {
+	if len(acc) == 0 || k <= 0 {
+		return nil
+	}
+	edges := make([]Edge, 0, len(acc))
+	for to, w := range acc {
+		if w > 0 {
+			edges = append(edges, Edge{to, w})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].Weight != edges[b].Weight {
+			return edges[a].Weight > edges[b].Weight
+		}
+		return edges[a].To < edges[b].To
+	})
+	if len(edges) > k {
+		edges = edges[:k]
+	}
+	return edges
+}
+
+// buildGamma propagates β weights to in-neighbor pairs (Algorithm 1, lines
+// 20–33): if valueSim(x, y) = β and x is a top neighbor of a while y is a
+// top neighbor of b, then β contributes to neighborNSim(a, b). The retained
+// (pruned) β-edges of both directions feed the propagation, merged into one
+// undirected adjacency so no contribution is double counted.
+func (g *Graph) buildGamma(e *parallel.Engine, in Input) {
+	adj1 := mergeAdjacency(g.Beta1, g.Beta2, in.K1.Len())
+	adj2 := mergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
+
+	// getTopInNeighbors (Algorithm 1, lines 44–47): in1[x] lists the E1
+	// entities that have x among their top neighbors.
+	in1 := stats.TopInNeighbors(in.Top1)
+	in2 := stats.TopInNeighbors(in.Top2)
+
+	// Gather formulation of lines 20–27: γ(a, b) = Σ β(na, y) over a's top
+	// neighbors na and their retained β-edges (na, y) with y a top neighbor
+	// of b, i.e. b ∈ in2[y].
+	g.Gamma1 = parallel.Map(e, in.K1.Len(), func(a int) []Edge {
+		var acc map[kb.EntityID]float64
+		for _, na := range in.Top1[a] {
+			for _, edge := range adj1[na] {
+				ins := in2[edge.To]
+				if len(ins) == 0 {
+					continue
+				}
+				if acc == nil {
+					acc = make(map[kb.EntityID]float64)
+				}
+				for _, b := range ins {
+					acc[b] += edge.Weight
+				}
+			}
+		}
+		return topK(acc, in.K)
+	})
+	g.Gamma2 = parallel.Map(e, in.K2.Len(), func(b int) []Edge {
+		var acc map[kb.EntityID]float64
+		for _, nb := range in.Top2[b] {
+			for _, edge := range adj2[nb] {
+				ins := in1[edge.To]
+				if len(ins) == 0 {
+					continue
+				}
+				if acc == nil {
+					acc = make(map[kb.EntityID]float64)
+				}
+				for _, a := range ins {
+					acc[a] += edge.Weight
+				}
+			}
+		}
+		return topK(acc, in.K)
+	})
+}
+
+// mergeAdjacency merges the directed retained β-edges of both directions
+// into an undirected adjacency for one side: out[x] holds each neighbor y at
+// most once with its β weight, sorted by entity ID.
+func mergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
+	out := make([][]Edge, n)
+	for x := range own {
+		out[x] = append(out[x], own[x]...)
+	}
+	for y := range reverse {
+		for _, edge := range reverse[y] {
+			out[edge.To] = append(out[edge.To], Edge{kb.EntityID(y), edge.Weight})
+		}
+	}
+	for x := range out {
+		if len(out[x]) < 2 {
+			continue
+		}
+		sort.Slice(out[x], func(a, b int) bool { return out[x][a].To < out[x][b].To })
+		dst := out[x][:1]
+		for _, edge := range out[x][1:] {
+			if edge.To != dst[len(dst)-1].To {
+				dst = append(dst, edge)
+			}
+		}
+		out[x] = dst
+	}
+	return out
+}
+
+// BetaWeight returns the retained valueSim from an E1 node to an E2 node
+// (0 if the directed edge was pruned).
+func (g *Graph) BetaWeight(e1, e2 kb.EntityID) float64 {
+	for _, edge := range g.Beta1[e1] {
+		if edge.To == e2 {
+			return edge.Weight
+		}
+	}
+	return 0
+}
+
+// HasDirectedEdge1 reports whether the directed edge from E1 node e1 to E2
+// node e2 survived pruning under any evidence (α, β or γ) — the G.E
+// membership test of the reciprocity rule R4.
+func (g *Graph) HasDirectedEdge1(e1, e2 kb.EntityID) bool {
+	return containsID(g.Alpha1[e1], e2) || containsEdge(g.Beta1[e1], e2) || containsEdge(g.Gamma1[e1], e2)
+}
+
+// HasDirectedEdge2 is HasDirectedEdge1 for the E2 → E1 direction.
+func (g *Graph) HasDirectedEdge2(e2, e1 kb.EntityID) bool {
+	return containsID(g.Alpha2[e2], e1) || containsEdge(g.Beta2[e2], e1) || containsEdge(g.Gamma2[e2], e1)
+}
+
+func containsID(xs []kb.EntityID, x kb.EntityID) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsEdge(es []Edge, to kb.EntityID) bool {
+	for _, e := range es {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns the total number of directed edges retained in the graph,
+// used by complexity assertions (|E| ≤ 2·(2K+names)·(|E1|+|E2|)).
+func (g *Graph) Edges() int {
+	total := 0
+	for _, xs := range g.Alpha1 {
+		total += len(xs)
+	}
+	for _, xs := range g.Alpha2 {
+		total += len(xs)
+	}
+	for _, es := range g.Beta1 {
+		total += len(es)
+	}
+	for _, es := range g.Beta2 {
+		total += len(es)
+	}
+	for _, es := range g.Gamma1 {
+		total += len(es)
+	}
+	for _, es := range g.Gamma2 {
+		total += len(es)
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+	"minoaner/internal/testkb"
+)
+
+var seq = parallel.Sequential()
+
+// buildFigure1Graph assembles the full Algorithm 1 input for the paper's
+// Figure 1 fixture with parameters (k=2 names, K, N=2).
+func buildFigure1Graph(t *testing.T, e *parallel.Engine, k int) (*kb.KB, *kb.KB, *Graph) {
+	t.Helper()
+	w, d := testkb.Figure1()
+	in := InputFor(e, w, d, 2, k, 2)
+	return w, d, Build(e, in)
+}
+
+func TestAlphaEdgesFromUniqueNames(t *testing.T) {
+	w, d, g := buildFigure1Graph(t, seq, 5)
+	chef1 := w.Lookup("w:JohnLakeA")
+	chef2 := d.Lookup("d:JonnyLake")
+	// Example 3.4: the chefs share the unique name "J. Lake" → α = 1.
+	if !containsID(g.Alpha1[chef1], chef2) {
+		t.Errorf("Alpha1[chef1] = %v, want to contain chef2=%d", g.Alpha1[chef1], chef2)
+	}
+	if !containsID(g.Alpha2[chef2], chef1) {
+		t.Errorf("Alpha2[chef2] = %v, want to contain chef1=%d", g.Alpha2[chef2], chef1)
+	}
+}
+
+func TestBetaMatchesDirectValueSim(t *testing.T) {
+	// With K large enough that nothing is pruned, the retained β weight of
+	// every pair must equal the reference Def. 2.1 computation.
+	w, d, g := buildFigure1Graph(t, seq, 100)
+	ef1, ef2 := stats.BuildEF(seq, w), stats.BuildEF(seq, d)
+	for i := 0; i < w.Len(); i++ {
+		for j := 0; j < d.Len(); j++ {
+			want := stats.ValueSim(w.Entity(kb.EntityID(i)), d.Entity(kb.EntityID(j)), ef1, ef2)
+			got := g.BetaWeight(kb.EntityID(i), kb.EntityID(j))
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("β(%d,%d) = %v, want valueSim %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBetaSortedAndBounded(t *testing.T) {
+	_, _, g := buildFigure1Graph(t, seq, 2)
+	for i, es := range g.Beta1 {
+		if len(es) > 2 {
+			t.Fatalf("Beta1[%d] has %d edges, K=2", i, len(es))
+		}
+		for x := 1; x < len(es); x++ {
+			if es[x].Weight > es[x-1].Weight {
+				t.Fatalf("Beta1[%d] not sorted desc", i)
+			}
+		}
+		for _, edge := range es {
+			if edge.Weight <= 0 {
+				t.Fatalf("Beta1[%d] kept trivial edge", i)
+			}
+		}
+	}
+}
+
+func TestGammaPropagation(t *testing.T) {
+	w, d, g := buildFigure1Graph(t, seq, 5)
+	r1 := w.Lookup("w:Restaurant1")
+	r2 := d.Lookup("d:Restaurant2")
+	// Example 3.4: Restaurant1–Restaurant2 get a non-zero γ because their
+	// top neighbors (chefs; Bray/Berkshire) have non-zero β edges.
+	var gammaR1R2 float64
+	for _, edge := range g.Gamma1[r1] {
+		if edge.To == r2 {
+			gammaR1R2 = edge.Weight
+		}
+	}
+	if gammaR1R2 <= 0 {
+		t.Fatalf("γ(Restaurant1, Restaurant2) = %v, want > 0 (Gamma1: %v)", gammaR1R2, g.Gamma1[r1])
+	}
+	// γ must equal the sum of β over top-neighbor pairs (Def. 2.5 via
+	// retained edges).
+	var want float64
+	in := InputFor(seq, w, d, 2, 5, 2)
+	adj := map[[2]kb.EntityID]float64{}
+	for x, es := range g.Beta1 {
+		for _, e := range es {
+			adj[[2]kb.EntityID{kb.EntityID(x), e.To}] = e.Weight
+		}
+	}
+	for y, es := range g.Beta2 {
+		for _, e := range es {
+			adj[[2]kb.EntityID{e.To, kb.EntityID(y)}] = e.Weight
+		}
+	}
+	for _, na := range in.Top1[r1] {
+		for _, nb := range in.Top2[r2] {
+			want += adj[[2]kb.EntityID{na, nb}]
+		}
+	}
+	if math.Abs(gammaR1R2-want) > 1e-9 {
+		t.Errorf("γ(R1,R2) = %v, want %v", gammaR1R2, want)
+	}
+}
+
+func TestGammaSymmetryOfPairWeight(t *testing.T) {
+	// γ is a pair weight: if (a→b) and (b→a) both survive pruning, their
+	// weights must be equal.
+	w, d, g := buildFigure1Graph(t, seq, 100)
+	_ = w
+	_ = d
+	for a, es := range g.Gamma1 {
+		for _, e := range es {
+			for _, back := range g.Gamma2[e.To] {
+				if int(back.To) == a && math.Abs(back.Weight-e.Weight) > 1e-9 {
+					t.Fatalf("γ asymmetric: %v vs %v", e.Weight, back.Weight)
+				}
+			}
+		}
+	}
+}
+
+func TestHasDirectedEdge(t *testing.T) {
+	w, d, g := buildFigure1Graph(t, seq, 5)
+	chef1 := w.Lookup("w:JohnLakeA")
+	chef2 := d.Lookup("d:JonnyLake")
+	if !g.HasDirectedEdge1(chef1, chef2) || !g.HasDirectedEdge2(chef2, chef1) {
+		t.Error("chef pair must be reciprocally connected")
+	}
+	uk := w.Lookup("w:UK")
+	// UK shares tokens with England ("england"? no: UK's tokens are
+	// "united kingdom"); it should have no edge to the chef.
+	if g.HasDirectedEdge1(uk, chef2) {
+		t.Error("UK → chef edge should not exist")
+	}
+}
+
+func TestGraphParallelDeterminism(t *testing.T) {
+	_, _, ref := buildFigure1Graph(t, seq, 3)
+	for _, workers := range []int{2, 4, 8} {
+		_, _, got := buildFigure1Graph(t, parallel.New(workers), 3)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("graph differs with %d workers", workers)
+		}
+	}
+}
+
+func TestEdgesBound(t *testing.T) {
+	w, d, g := buildFigure1Graph(t, seq, 3)
+	// |E| ≤ 2·(2K + maxNames)·(|E1|+|E2|) — generous upper bound; the point
+	// is linear scaling in input size (§4 complexity claim).
+	bound := 2 * (2*3 + 2) * (w.Len() + d.Len())
+	if g.Edges() > bound {
+		t.Errorf("Edges = %d, exceeds linear bound %d", g.Edges(), bound)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	acc := map[kb.EntityID]float64{1: 0.5, 2: 2.0, 3: 1.0, 4: 0, 5: -1}
+	got := topK(acc, 2)
+	want := []Edge{{2, 2.0}, {3, 1.0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("topK = %v, want %v", got, want)
+	}
+	if topK(nil, 3) != nil {
+		t.Error("topK(nil) should be nil")
+	}
+	if topK(acc, 0) != nil {
+		t.Error("topK(_, 0) should be nil")
+	}
+	// Ties broken by ID.
+	tie := map[kb.EntityID]float64{9: 1, 3: 1, 7: 1}
+	gotTie := topK(tie, 2)
+	if gotTie[0].To != 3 || gotTie[1].To != 7 {
+		t.Errorf("tie-break = %v, want IDs 3,7", gotTie)
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	f := func(weights []float64, k uint8) bool {
+		acc := map[kb.EntityID]float64{}
+		for i, w := range weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				continue
+			}
+			acc[kb.EntityID(i)] = math.Abs(w)
+		}
+		kk := int(k%10) + 1
+		es := topK(acc, kk)
+		if len(es) > kk {
+			return false
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i].Weight > es[i-1].Weight {
+				return false
+			}
+		}
+		// Every returned weight must be >= every excluded positive weight.
+		if len(es) == kk {
+			minKept := es[len(es)-1].Weight
+			excluded := 0
+			for _, w := range acc {
+				if w > minKept {
+					excluded++
+				}
+			}
+			if excluded > kk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAdjacency(t *testing.T) {
+	beta1 := [][]Edge{{{To: 0, Weight: 1.0}, {To: 1, Weight: 0.5}}}
+	beta2 := [][]Edge{{{To: 0, Weight: 1.0}}, {}} // E2 node 0 retains edge to E1 node 0
+	adj := mergeAdjacency(beta1, beta2, 1)
+	if len(adj[0]) != 2 {
+		t.Fatalf("adj[0] = %v, want deduped 2 edges", adj[0])
+	}
+	if adj[0][0].To != 0 || adj[0][1].To != 1 {
+		t.Errorf("adj[0] = %v, want sorted by ID", adj[0])
+	}
+}
+
+func TestEmptyKBsGraph(t *testing.T) {
+	k1 := kb.NewBuilder("A").Build()
+	k2 := kb.NewBuilder("B").Build()
+	in := InputFor(seq, k1, k2, 2, 5, 2)
+	g := Build(seq, in)
+	if g.Edges() != 0 {
+		t.Errorf("empty KBs produced %d edges", g.Edges())
+	}
+}
+
+func TestNoSharedTokens(t *testing.T) {
+	b1 := kb.NewBuilder("A")
+	x := b1.AddEntity("x")
+	b1.AddLiteral(x, "label", "alpha beta")
+	k1 := b1.Build()
+	b2 := kb.NewBuilder("B")
+	y := b2.AddEntity("y")
+	b2.AddLiteral(y, "label", "gamma delta")
+	k2 := b2.Build()
+	g := Build(seq, InputFor(seq, k1, k2, 1, 5, 2))
+	if g.Edges() != 0 {
+		t.Errorf("disjoint KBs produced %d edges", g.Edges())
+	}
+}

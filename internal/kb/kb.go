@@ -1,0 +1,256 @@
+// Package kb implements the entity-description substrate of MinoanER
+// (Efthymiou et al., EDBT 2019, §2): URI-identified sets of attribute-value
+// pairs whose values are either literals or references to other entities of
+// the same knowledge base, forming an entity graph.
+//
+// A KB is immutable once built. Construction goes through a Builder, which
+// resolves object URIs into relations (edges to described entities) and keeps
+// unresolved URIs as plain literal values, exactly as the paper defines
+// relations(e) and neighbors(e): only objects that are themselves described
+// in the KB count as neighbors.
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityID indexes a description inside one KB. IDs are dense, starting at 0,
+// assigned in insertion order.
+type EntityID int32
+
+// NoEntity is the sentinel returned by lookups that find nothing.
+const NoEntity EntityID = -1
+
+// AttributeValue is one literal-valued attribute of a description.
+type AttributeValue struct {
+	Attribute string
+	Value     string
+}
+
+// Relation is one entity-valued attribute: a named edge to another entity of
+// the same KB.
+type Relation struct {
+	Predicate string
+	Object    EntityID
+}
+
+// Description is a single entity description: a URI plus its literal
+// attributes and its relations. Token sets are precomputed at build time
+// because every MinoanER stage (EF statistics, token blocking, valueSim)
+// consumes the same schema-agnostic bag of tokens.
+type Description struct {
+	URI       string
+	Attrs     []AttributeValue
+	Relations []Relation
+
+	// tokens is the sorted set of distinct tokens appearing in any literal
+	// value of this description.
+	tokens []string
+}
+
+// Tokens returns the distinct tokens of the description in sorted order.
+// The returned slice is shared; callers must not modify it.
+func (d *Description) Tokens() []string { return d.tokens }
+
+// HasToken reports whether t is one of the description's tokens.
+func (d *Description) HasToken(t string) bool {
+	i := sort.SearchStrings(d.tokens, t)
+	return i < len(d.tokens) && d.tokens[i] == t
+}
+
+// Values returns the literal values of attribute attr, in insertion order.
+func (d *Description) Values(attr string) []string {
+	var vs []string
+	for _, av := range d.Attrs {
+		if av.Attribute == attr {
+			vs = append(vs, av.Value)
+		}
+	}
+	return vs
+}
+
+// KB is an immutable knowledge base: a set of entity descriptions indexed by
+// dense EntityIDs.
+type KB struct {
+	name     string
+	entities []Description
+	byURI    map[string]EntityID
+	triples  int
+}
+
+// Name returns the KB's display name.
+func (k *KB) Name() string { return k.name }
+
+// Len returns the number of entity descriptions.
+func (k *KB) Len() int { return len(k.entities) }
+
+// Triples returns the total number of attribute-value pairs plus relations,
+// i.e. the triple count reported in Table 1 of the paper.
+func (k *KB) Triples() int { return k.triples }
+
+// Entity returns the description with the given ID. It panics if the ID is
+// out of range, mirroring slice indexing semantics.
+func (k *KB) Entity(id EntityID) *Description { return &k.entities[id] }
+
+// Lookup finds an entity by URI, returning NoEntity if absent.
+func (k *KB) Lookup(uri string) EntityID {
+	if id, ok := k.byURI[uri]; ok {
+		return id
+	}
+	return NoEntity
+}
+
+// Relations returns the distinct relation predicates of entity id, in first
+// appearance order (paper: relations(e_i)).
+func (k *KB) Relations(id EntityID) []string {
+	d := &k.entities[id]
+	seen := make(map[string]bool, len(d.Relations))
+	var out []string
+	for _, r := range d.Relations {
+		if !seen[r.Predicate] {
+			seen[r.Predicate] = true
+			out = append(out, r.Predicate)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the distinct neighbor entities of id, in first appearance
+// order (paper: neighbors(e_i)).
+func (k *KB) Neighbors(id EntityID) []EntityID {
+	d := &k.entities[id]
+	seen := make(map[EntityID]bool, len(d.Relations))
+	var out []EntityID
+	for _, r := range d.Relations {
+		if !seen[r.Object] {
+			seen[r.Object] = true
+			out = append(out, r.Object)
+		}
+	}
+	return out
+}
+
+// AverageTokens returns the mean number of distinct tokens per description
+// (Table 1's "av. tokens" row).
+func (k *KB) AverageTokens() float64 {
+	if len(k.entities) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range k.entities {
+		total += len(k.entities[i].tokens)
+	}
+	return float64(total) / float64(len(k.entities))
+}
+
+// Attributes returns the number of distinct literal attribute names in the KB.
+func (k *KB) Attributes() int {
+	set := make(map[string]struct{})
+	for i := range k.entities {
+		for _, av := range k.entities[i].Attrs {
+			set[av.Attribute] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// RelationNames returns the number of distinct relation predicates in the KB.
+func (k *KB) RelationNames() int {
+	set := make(map[string]struct{})
+	for i := range k.entities {
+		for _, r := range k.entities[i].Relations {
+			set[r.Predicate] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (k *KB) String() string {
+	return fmt.Sprintf("KB(%s: %d entities, %d triples)", k.name, len(k.entities), k.triples)
+}
+
+// Builder accumulates raw triples and produces an immutable KB. Object values
+// that match the URI of a described entity become relations at Build time;
+// all other values are literal attributes.
+type Builder struct {
+	name     string
+	entities []Description
+	byURI    map[string]EntityID
+	// pending holds raw (subject, predicate, object) statements whose object
+	// may turn out to be an entity URI.
+	pending []rawTriple
+	tok     *Tokenizer
+}
+
+type rawTriple struct {
+	subject   EntityID
+	predicate string
+	object    string
+	// objectIsURI records whether the loader saw the object in URI position
+	// (e.g. <...> in N-Triples). Only URI objects can become relations.
+	objectIsURI bool
+}
+
+// NewBuilder returns a Builder for a KB with the given display name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:  name,
+		byURI: make(map[string]EntityID),
+		tok:   NewTokenizer(),
+	}
+}
+
+// AddEntity registers (or finds) the entity with the given URI and returns
+// its ID. Adding the same URI twice returns the same ID.
+func (b *Builder) AddEntity(uri string) EntityID {
+	if id, ok := b.byURI[uri]; ok {
+		return id
+	}
+	id := EntityID(len(b.entities))
+	b.entities = append(b.entities, Description{URI: uri})
+	b.byURI[uri] = id
+	return id
+}
+
+// AddLiteral attaches a literal attribute-value pair to the entity.
+func (b *Builder) AddLiteral(id EntityID, attribute, value string) {
+	b.pending = append(b.pending, rawTriple{id, attribute, value, false})
+}
+
+// AddObject attaches an object (URI-position) value. At Build time it becomes
+// a relation if the URI names a described entity, otherwise a literal.
+func (b *Builder) AddObject(id EntityID, predicate, objectURI string) {
+	b.pending = append(b.pending, rawTriple{id, predicate, objectURI, true})
+}
+
+// Len returns the number of entities registered so far.
+func (b *Builder) Len() int { return len(b.entities) }
+
+// Build finalizes the KB: it resolves object URIs to relations, tokenizes all
+// literal values, and returns the immutable KB. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() *KB {
+	triples := 0
+	for _, t := range b.pending {
+		d := &b.entities[t.subject]
+		if t.objectIsURI {
+			if obj, ok := b.byURI[t.object]; ok {
+				d.Relations = append(d.Relations, Relation{Predicate: t.predicate, Object: obj})
+				triples++
+				continue
+			}
+		}
+		d.Attrs = append(d.Attrs, AttributeValue{Attribute: t.predicate, Value: t.object})
+		triples++
+	}
+	for i := range b.entities {
+		b.entities[i].tokens = b.tok.TokenSet(&b.entities[i])
+	}
+	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, triples: triples}
+	b.entities = nil
+	b.byURI = nil
+	b.pending = nil
+	return kb
+}

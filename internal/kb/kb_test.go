@@ -1,0 +1,160 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildFigure1Wikidata builds the Wikidata side of the paper's Figure 1
+// running example: Restaurant1 with chef John Lake A in Bray, United Kingdom.
+func buildFigure1Wikidata(t *testing.T) *KB {
+	t.Helper()
+	b := NewBuilder("Wikidata")
+	r1 := b.AddEntity("wd:Restaurant1")
+	chef := b.AddEntity("wd:JohnLakeA")
+	bray := b.AddEntity("wd:Bray")
+	uk := b.AddEntity("wd:UK")
+	b.AddLiteral(r1, "label", "The Fat Duck")
+	b.AddLiteral(r1, "starsMichelin", "3")
+	b.AddObject(r1, "hasChef", "wd:JohnLakeA")
+	b.AddObject(r1, "territorial", "wd:Bray")
+	b.AddObject(r1, "inCountry", "wd:UK")
+	b.AddLiteral(chef, "label", "John Lake A")
+	b.AddLiteral(bray, "label", "Bray")
+	b.AddLiteral(uk, "label", "United Kingdom")
+	_ = chef
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	k := buildFigure1Wikidata(t)
+	if got, want := k.Len(), 4; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	if got, want := k.Triples(), 8; got != want {
+		t.Fatalf("Triples() = %d, want %d", got, want)
+	}
+	r1 := k.Lookup("wd:Restaurant1")
+	if r1 == NoEntity {
+		t.Fatal("Lookup(Restaurant1) = NoEntity")
+	}
+	rels := k.Relations(r1)
+	if len(rels) != 3 {
+		t.Fatalf("Relations(Restaurant1) = %v, want 3 relations", rels)
+	}
+	neigh := k.Neighbors(r1)
+	if len(neigh) != 3 {
+		t.Fatalf("Neighbors(Restaurant1) = %v, want 3 neighbors", neigh)
+	}
+	// The paper's example: relations(Restaurant1) = {hasChef, territorial, inCountry}.
+	want := map[string]bool{"hasChef": true, "territorial": true, "inCountry": true}
+	for _, p := range rels {
+		if !want[p] {
+			t.Errorf("unexpected relation %q", p)
+		}
+	}
+}
+
+func TestAddEntityIdempotent(t *testing.T) {
+	b := NewBuilder("X")
+	a := b.AddEntity("u1")
+	c := b.AddEntity("u1")
+	if a != c {
+		t.Fatalf("AddEntity twice = %d, %d; want same ID", a, c)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestUnresolvedObjectBecomesLiteral(t *testing.T) {
+	b := NewBuilder("X")
+	e := b.AddEntity("u1")
+	b.AddObject(e, "seeAlso", "http://external.example/NotInKB")
+	k := b.Build()
+	d := k.Entity(e)
+	if len(d.Relations) != 0 {
+		t.Fatalf("Relations = %v, want none (object not described in KB)", d.Relations)
+	}
+	if len(d.Attrs) != 1 {
+		t.Fatalf("Attrs = %v, want the unresolved URI as literal", d.Attrs)
+	}
+	// The URI's tokens become part of the description's token set.
+	if !d.HasToken("notinkb") {
+		t.Errorf("tokens = %v, want to contain \"notinkb\"", d.Tokens())
+	}
+}
+
+func TestTokensSortedDistinct(t *testing.T) {
+	b := NewBuilder("X")
+	e := b.AddEntity("u1")
+	b.AddLiteral(e, "a", "Bray Bray BRAY")
+	b.AddLiteral(e, "b", "united kingdom")
+	k := b.Build()
+	got := k.Entity(e).Tokens()
+	want := []string{"bray", "kingdom", "united"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokens = %v, want %v", got, want)
+		}
+	}
+	if !k.Entity(e).HasToken("bray") || k.Entity(e).HasToken("zzz") {
+		t.Error("HasToken misbehaves")
+	}
+}
+
+func TestValuesByAttribute(t *testing.T) {
+	b := NewBuilder("X")
+	e := b.AddEntity("u1")
+	b.AddLiteral(e, "label", "A")
+	b.AddLiteral(e, "label", "B")
+	b.AddLiteral(e, "other", "C")
+	k := b.Build()
+	vs := k.Entity(e).Values("label")
+	if len(vs) != 2 || vs[0] != "A" || vs[1] != "B" {
+		t.Fatalf("Values(label) = %v, want [A B]", vs)
+	}
+	if vs := k.Entity(e).Values("missing"); vs != nil {
+		t.Fatalf("Values(missing) = %v, want nil", vs)
+	}
+}
+
+func TestAverageTokensAndCounts(t *testing.T) {
+	b := NewBuilder("X")
+	e1 := b.AddEntity("u1")
+	e2 := b.AddEntity("u2")
+	b.AddLiteral(e1, "p1", "one two")
+	b.AddLiteral(e2, "p2", "three")
+	b.AddObject(e2, "rel", "u1")
+	k := b.Build()
+	if got := k.AverageTokens(); got != 1.5 {
+		t.Errorf("AverageTokens = %v, want 1.5", got)
+	}
+	if got := k.Attributes(); got != 2 {
+		t.Errorf("Attributes = %d, want 2", got)
+	}
+	if got := k.RelationNames(); got != 1 {
+		t.Errorf("RelationNames = %d, want 1", got)
+	}
+}
+
+func TestEmptyKB(t *testing.T) {
+	k := NewBuilder("empty").Build()
+	if k.Len() != 0 || k.Triples() != 0 || k.AverageTokens() != 0 {
+		t.Fatalf("empty KB has non-zero stats: %v", k)
+	}
+	if k.Lookup("anything") != NoEntity {
+		t.Fatal("Lookup on empty KB should return NoEntity")
+	}
+}
+
+func TestKBStringer(t *testing.T) {
+	k := buildFigure1Wikidata(t)
+	s := k.String()
+	if !strings.Contains(s, "Wikidata") || !strings.Contains(s, "4 entities") {
+		t.Errorf("String() = %q, want name and entity count", s)
+	}
+}

@@ -1,0 +1,258 @@
+package kb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a malformed statement encountered while loading a KB.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("kb: line %d: %v: %q", e.Line, e.Err, e.Text)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+var (
+	errMissingSubject   = fmt.Errorf("missing subject")
+	errMissingPredicate = fmt.Errorf("missing predicate")
+	errMissingObject    = fmt.Errorf("missing object")
+	errUnterminated     = fmt.Errorf("unterminated term")
+)
+
+// LoadNTriples reads a KB in N-Triples format:
+//
+//	<subject> <predicate> <object-uri> .
+//	<subject> <predicate> "literal"^^<type> .
+//
+// Comments (#...) and blank lines are skipped. Malformed lines produce a
+// *ParseError unless lenient is true, in which case they are counted and
+// skipped. It returns the built KB and the number of skipped lines.
+func LoadNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	skipped := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		subj, pred, obj, objIsURI, err := parseNTLine(line)
+		if err != nil {
+			if lenient {
+				skipped++
+				continue
+			}
+			return nil, skipped, &ParseError{Line: lineNo, Text: line, Err: err}
+		}
+		id := b.AddEntity(subj)
+		if objIsURI {
+			b.AddObject(id, pred, obj)
+		} else {
+			b.AddLiteral(id, pred, obj)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("kb: reading %s: %w", name, err)
+	}
+	return b.Build(), skipped, nil
+}
+
+// parseNTLine parses one N-Triples statement into its three terms.
+func parseNTLine(line string) (subj, pred, obj string, objIsURI bool, err error) {
+	rest := line
+	subj, rest, err = parseSubject(rest)
+	if err != nil {
+		return "", "", "", false, errMissingSubject
+	}
+	pred, rest, err = parseURI(rest)
+	if err != nil {
+		return "", "", "", false, errMissingPredicate
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return "", "", "", false, errMissingObject
+	}
+	switch rest[0] {
+	case '<':
+		obj, _, err = parseURI(rest)
+		if err != nil {
+			return "", "", "", false, errMissingObject
+		}
+		return subj, pred, obj, true, nil
+	case '"':
+		obj, err = parseLiteral(rest)
+		if err != nil {
+			return "", "", "", false, err
+		}
+		return subj, pred, obj, false, nil
+	case '_': // blank node: treat its label as a URI-like identifier
+		end := strings.IndexAny(rest, " \t")
+		if end < 0 {
+			end = len(rest)
+		}
+		return subj, pred, rest[:end], true, nil
+	default:
+		return "", "", "", false, errMissingObject
+	}
+}
+
+// parseSubject consumes a leading subject term: either <uri> or a blank node
+// label (_:x), whose label is used as the identifier.
+func parseSubject(s string) (subj, rest string, err error) {
+	s = strings.TrimLeft(s, " \t")
+	if strings.HasPrefix(s, "_") {
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			return "", "", errUnterminated
+		}
+		return s[:end], s[end:], nil
+	}
+	return parseURI(s)
+}
+
+// parseURI consumes a leading <...> term and returns it without brackets.
+func parseURI(s string) (uri, rest string, err error) {
+	s = strings.TrimLeft(s, " \t")
+	if !strings.HasPrefix(s, "<") {
+		return "", "", errUnterminated
+	}
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		return "", "", errUnterminated
+	}
+	return s[1:end], s[end+1:], nil
+}
+
+// parseLiteral consumes a leading "..." literal (with \-escapes) and strips
+// any datatype (^^<...>) or language (@xx) suffix.
+func parseLiteral(s string) (string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", errUnterminated
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				if i+6 <= len(s) {
+					if n, err := strconv.ParseUint(s[i+2:i+6], 16, 32); err == nil {
+						b.WriteRune(rune(n))
+						i += 6
+						continue
+					}
+				}
+				return "", errUnterminated
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i += 2
+			continue
+		}
+		if c == '"' {
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", errUnterminated
+}
+
+// LoadTSV reads a KB as tab-separated subject/predicate/object rows. Objects
+// are treated as entity URIs when they appear elsewhere as subjects (resolved
+// at Build time via AddObject) if uriObjects is true; otherwise every object
+// is a literal. Returns the KB and the number of skipped malformed rows.
+func LoadTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	skipped := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+			skipped++
+			continue
+		}
+		id := b.AddEntity(parts[0])
+		if uriObjects {
+			b.AddObject(id, parts[1], parts[2])
+		} else {
+			b.AddLiteral(id, parts[1], parts[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("kb: reading %s: %w", name, err)
+	}
+	return b.Build(), skipped, nil
+}
+
+// WriteNTriples serializes the KB in N-Triples format, one statement per
+// attribute-value pair and relation. Round-tripping through LoadNTriples
+// reproduces the same KB (tested property).
+func WriteNTriples(w io.Writer, k *KB) error {
+	bw := bufio.NewWriter(w)
+	for id := 0; id < k.Len(); id++ {
+		d := k.Entity(EntityID(id))
+		for _, av := range d.Attrs {
+			if _, err := fmt.Fprintf(bw, "<%s> <%s> %s .\n", d.URI, av.Attribute, quoteLiteral(av.Value)); err != nil {
+				return err
+			}
+		}
+		for _, rel := range d.Relations {
+			if _, err := fmt.Fprintf(bw, "<%s> <%s> <%s> .\n", d.URI, rel.Predicate, k.Entity(rel.Object).URI); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func quoteLiteral(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

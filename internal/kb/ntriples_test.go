@@ -1,0 +1,183 @@
+package kb
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `# Figure 1, DBpedia side
+<db:Restaurant2> <rdfs:label> "The Fat Duck" .
+<db:Restaurant2> <headChef> <db:JonnyLake> .
+<db:Restaurant2> <county> <db:Berkshire> .
+<db:JonnyLake> <rdfs:label> "Jonny Lake" .
+<db:Berkshire> <rdfs:label> "Berkshire" .
+<db:Berkshire> <near> <db:Bray2> .
+<db:Bray2> <rdfs:label> "Bray" .
+`
+
+func TestLoadNTriples(t *testing.T) {
+	k, skipped, err := LoadNTriples("DBpedia", strings.NewReader(sampleNT), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if k.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", k.Len())
+	}
+	r2 := k.Lookup("db:Restaurant2")
+	if r2 == NoEntity {
+		t.Fatal("Restaurant2 missing")
+	}
+	if got := k.Relations(r2); len(got) != 2 {
+		t.Fatalf("Relations = %v, want headChef and county", got)
+	}
+	if !k.Entity(r2).HasToken("duck") {
+		t.Errorf("tokens = %v, want to contain duck", k.Entity(r2).Tokens())
+	}
+}
+
+func TestLoadNTriplesLiteralEscapes(t *testing.T) {
+	src := `<a> <p> "line\nbreak \"quoted\" tab\there é" .` + "\n"
+	k, _, err := LoadNTriples("X", strings.NewReader(src), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.Entity(k.Lookup("a"))
+	want := "line\nbreak \"quoted\" tab\there é"
+	if d.Attrs[0].Value != want {
+		t.Errorf("literal = %q, want %q", d.Attrs[0].Value, want)
+	}
+}
+
+func TestLoadNTriplesDatatypeAndLang(t *testing.T) {
+	src := `<a> <p> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<a> <q> "bonjour"@fr .
+`
+	k, _, err := LoadNTriples("X", strings.NewReader(src), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.Entity(k.Lookup("a"))
+	if len(d.Attrs) != 2 || d.Attrs[0].Value != "3" || d.Attrs[1].Value != "bonjour" {
+		t.Errorf("attrs = %v, want stripped datatype/lang", d.Attrs)
+	}
+}
+
+func TestLoadNTriplesMalformedStrict(t *testing.T) {
+	src := "<a> <p> \"ok\" .\nthis is not a triple\n"
+	_, _, err := LoadNTriples("X", strings.NewReader(src), false)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("ParseError.Line = %d, want 2", pe.Line)
+	}
+}
+
+func TestLoadNTriplesMalformedLenient(t *testing.T) {
+	src := "<a> <p> \"ok\" .\ngarbage\n<a> <p <broken\n<b> <p> \"fine\" .\n"
+	k, skipped, err := LoadNTriples("X", strings.NewReader(src), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if k.Len() != 2 {
+		t.Errorf("Len = %d, want 2", k.Len())
+	}
+}
+
+func TestLoadNTriplesBlankNode(t *testing.T) {
+	src := "<a> <p> _:b1 .\n_:b1 <q> \"v\" .\n"
+	k, _, err := LoadNTriples("X", strings.NewReader(src), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k.Lookup("a")
+	if got := k.Neighbors(a); len(got) != 1 {
+		t.Fatalf("blank node should resolve to a neighbor, got %v", got)
+	}
+}
+
+func TestRoundTripNTriples(t *testing.T) {
+	k1, _, err := LoadNTriples("X", strings.NewReader(sampleNT), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, k1); err != nil {
+		t.Fatal(err)
+	}
+	k2, skipped, err := LoadNTriples("X", &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("round-trip skipped %d lines", skipped)
+	}
+	if k1.Len() != k2.Len() || k1.Triples() != k2.Triples() {
+		t.Fatalf("round trip changed size: %v vs %v", k1, k2)
+	}
+	for id := 0; id < k1.Len(); id++ {
+		d1, d2 := k1.Entity(EntityID(id)), k2.Entity(k2.Lookup(d1Uri(k1, id)))
+		if !reflect.DeepEqual(d1.Tokens(), d2.Tokens()) {
+			t.Fatalf("entity %s tokens differ: %v vs %v", d1.URI, d1.Tokens(), d2.Tokens())
+		}
+	}
+}
+
+func d1Uri(k *KB, id int) string { return k.Entity(EntityID(id)).URI }
+
+func TestRoundTripEscapedLiterals(t *testing.T) {
+	b := NewBuilder("X")
+	e := b.AddEntity("u")
+	b.AddLiteral(e, "p", "weird \"value\"\twith\nescapes\\")
+	k1 := b.Build()
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, k1); err != nil {
+		t.Fatal(err)
+	}
+	k2, _, err := LoadNTriples("X", &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := k2.Entity(k2.Lookup("u")).Attrs[0].Value
+	if got != "weird \"value\"\twith\nescapes\\" {
+		t.Errorf("round-trip literal = %q", got)
+	}
+}
+
+func TestLoadTSV(t *testing.T) {
+	src := "e1\tlabel\tAlpha Beta\ne2\tlabel\tGamma\ne1\tlinks\te2\nbad-row\n"
+	k, skipped, err := LoadTSV("X", strings.NewReader(src), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if k.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", k.Len())
+	}
+	if got := k.Neighbors(k.Lookup("e1")); len(got) != 1 {
+		t.Errorf("e1 neighbors = %v, want [e2]", got)
+	}
+}
+
+func TestLoadTSVLiteralObjects(t *testing.T) {
+	src := "e1\tlabel\te2\ne2\tlabel\tGamma\n"
+	k, _, err := LoadTSV("X", strings.NewReader(src), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Neighbors(k.Lookup("e1")); len(got) != 0 {
+		t.Errorf("uriObjects=false must not create relations, got %v", got)
+	}
+}

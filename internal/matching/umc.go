@@ -1,0 +1,57 @@
+package matching
+
+import (
+	"sort"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+// ScoredPair is a candidate correspondence with a similarity score, the
+// input unit of Unique Mapping Clustering.
+type ScoredPair struct {
+	Pair  eval.Pair
+	Score float64
+}
+
+// UniqueMappingClustering implements the clustering shared by SiGMa, LINDA,
+// RiMOM-IM and MinoanER's baseline BSL (§5): all scored pairs enter a queue
+// in decreasing similarity; at each step the top pair becomes a match if
+// neither of its entities is already matched; the process stops when the
+// top score drops below threshold.
+//
+// Ties are broken by (E1, E2) so results are deterministic.
+func UniqueMappingClustering(pairs []ScoredPair, threshold float64) []eval.Pair {
+	sorted := make([]ScoredPair, len(pairs))
+	copy(sorted, pairs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		if sorted[i].Pair.E1 != sorted[j].Pair.E1 {
+			return sorted[i].Pair.E1 < sorted[j].Pair.E1
+		}
+		return sorted[i].Pair.E2 < sorted[j].Pair.E2
+	})
+	matched1 := make(map[kb.EntityID]bool)
+	matched2 := make(map[kb.EntityID]bool)
+	var out []eval.Pair
+	for _, sp := range sorted {
+		if sp.Score < threshold {
+			break
+		}
+		if matched1[sp.Pair.E1] || matched2[sp.Pair.E2] {
+			continue
+		}
+		matched1[sp.Pair.E1] = true
+		matched2[sp.Pair.E2] = true
+		out = append(out, sp.Pair)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].E1 != out[j].E1 {
+			return out[i].E1 < out[j].E1
+		}
+		return out[i].E2 < out[j].E2
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package matching
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/kb"
+)
+
+func TestUMCGreedyBestFirst(t *testing.T) {
+	pairs := []ScoredPair{
+		{eval.Pair{E1: 1, E2: 1}, 0.9},
+		{eval.Pair{E1: 1, E2: 2}, 0.8}, // E1=1 already taken
+		{eval.Pair{E1: 2, E2: 2}, 0.7},
+		{eval.Pair{E1: 3, E2: 3}, 0.2}, // below threshold
+	}
+	got := UniqueMappingClustering(pairs, 0.5)
+	want := []eval.Pair{{E1: 1, E2: 1}, {E1: 2, E2: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UMC = %v, want %v", got, want)
+	}
+}
+
+func TestUMCStopsAtThreshold(t *testing.T) {
+	pairs := []ScoredPair{
+		{eval.Pair{E1: 1, E2: 1}, 0.4},
+		{eval.Pair{E1: 2, E2: 2}, 0.6},
+	}
+	got := UniqueMappingClustering(pairs, 0.5)
+	if len(got) != 1 || got[0] != (eval.Pair{E1: 2, E2: 2}) {
+		t.Errorf("UMC = %v, want only the 0.6 pair", got)
+	}
+	// Threshold 0 keeps everything with non-negative score.
+	all := UniqueMappingClustering(pairs, 0)
+	if len(all) != 2 {
+		t.Errorf("UMC threshold 0 = %v", all)
+	}
+}
+
+func TestUMCDeterministicTies(t *testing.T) {
+	pairs := []ScoredPair{
+		{eval.Pair{E1: 2, E2: 2}, 0.5},
+		{eval.Pair{E1: 1, E2: 1}, 0.5},
+		{eval.Pair{E1: 1, E2: 2}, 0.5},
+	}
+	a := UniqueMappingClustering(pairs, 0.1)
+	b := UniqueMappingClustering([]ScoredPair{pairs[2], pairs[0], pairs[1]}, 0.1)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("UMC order-dependent: %v vs %v", a, b)
+	}
+	// Lowest (E1,E2) wins ties: (1,1) then (2,2).
+	want := []eval.Pair{{E1: 1, E2: 1}, {E1: 2, E2: 2}}
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("UMC tie-break = %v, want %v", a, want)
+	}
+}
+
+func TestUMCEmpty(t *testing.T) {
+	if got := UniqueMappingClustering(nil, 0.5); len(got) != 0 {
+		t.Errorf("UMC(nil) = %v", got)
+	}
+}
+
+// Property: UMC always yields a one-to-one mapping and never includes a
+// pair below the threshold.
+func TestUMCProperty(t *testing.T) {
+	f := func(seeds []uint16, rawThreshold uint8) bool {
+		threshold := float64(rawThreshold) / 255
+		var pairs []ScoredPair
+		for i, s := range seeds {
+			pairs = append(pairs, ScoredPair{
+				Pair:  eval.Pair{E1: kb.EntityID(s % 20), E2: kb.EntityID(s / 20 % 20)},
+				Score: float64(i%10) / 10,
+			})
+		}
+		out := UniqueMappingClustering(pairs, threshold)
+		seen1 := map[kb.EntityID]bool{}
+		seen2 := map[kb.EntityID]bool{}
+		scores := map[eval.Pair]float64{}
+		for _, p := range pairs {
+			if s, ok := scores[p.Pair]; !ok || p.Score > s {
+				scores[p.Pair] = p.Score
+			}
+		}
+		for _, p := range out {
+			if seen1[p.E1] || seen2[p.E2] {
+				return false
+			}
+			seen1[p.E1] = true
+			seen2[p.E2] = true
+			if scores[p] < threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

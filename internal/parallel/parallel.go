@@ -1,0 +1,246 @@
+// Package parallel is the massively-parallel execution substrate of this
+// MinoanER reproduction. The paper (§4.1, Figure 4) runs every stage as
+// data-parallel Spark tasks with synchronization barriers between stages;
+// here the same structure is provided by an in-process engine: inputs are
+// split into partitions, partitions are processed by a fixed worker pool,
+// and results are merged deterministically in partition order.
+//
+// Determinism is a design requirement (tested property): for any worker
+// count, every operation in this package produces results identical to the
+// sequential execution, so the matcher's output never depends on scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Engine executes data-parallel stages on a fixed number of workers. The
+// zero value is not usable; construct with New. Engines are stateless and
+// safe for concurrent use.
+type Engine struct {
+	workers int
+}
+
+// New returns an Engine with the given worker count. workers <= 0 selects
+// runtime.GOMAXPROCS(0), i.e. all available cores — the analogue of giving
+// Spark the whole cluster.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Sequential is a single-worker engine, used as the reference execution in
+// determinism tests and for tiny inputs where parallelism costs more than it
+// saves (the paper makes the same observation about Spark overhead on the
+// Restaurant dataset).
+func Sequential() *Engine { return New(1) }
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Span is a half-open index range [Lo, Hi) — one partition of the input.
+type Span struct{ Lo, Hi int }
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Partitions splits [0, n) into at most max(workers, 1) contiguous spans of
+// near-equal size. It never returns empty spans; for n == 0 it returns nil.
+func (e *Engine) Partitions(n int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	p := e.workers
+	if p > n {
+		p = n
+	}
+	spans := make([]Span, 0, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans = append(spans, Span{lo, lo + size})
+		lo += size
+	}
+	return spans
+}
+
+// For runs fn(i) for every i in [0, n), distributing contiguous partitions
+// over the worker pool and waiting for all of them (a barrier). fn must be
+// safe to call concurrently for distinct i.
+func (e *Engine) For(n int, fn func(i int)) {
+	e.ForSpans(n, func(s Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForSpans runs fn once per partition of [0, n) concurrently and waits for
+// completion. Partition-grained work lets callers keep per-partition state
+// (local hash maps, accumulators) without locking — the moral equivalent of
+// Spark's mapPartitions.
+func (e *Engine) ForSpans(n int, fn func(s Span)) {
+	spans := e.Partitions(n)
+	if len(spans) == 0 {
+		return
+	}
+	if len(spans) == 1 {
+		fn(spans[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for _, s := range spans {
+		go func(s Span) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Concurrent runs the given stages concurrently and waits for all of them.
+// This mirrors Figure 4 of the paper, where name blocking, token blocking
+// and top-neighbor extraction execute as independent parallel processes
+// joined at a synchronization point.
+func (e *Engine) Concurrent(stages ...func()) {
+	if len(stages) == 1 {
+		stages[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(stages))
+	for _, st := range stages {
+		go func(st func()) {
+			defer wg.Done()
+			st()
+		}(st)
+	}
+	wg.Wait()
+}
+
+// MapSpans applies fn to every partition of [0, n) concurrently and returns
+// the per-partition results in partition order (deterministic regardless of
+// scheduling).
+func MapSpans[T any](e *Engine, n int, fn func(s Span) T) []T {
+	spans := e.Partitions(n)
+	out := make([]T, len(spans))
+	if len(spans) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for pi, s := range spans {
+		go func(pi int, s Span) {
+			defer wg.Done()
+			out[pi] = fn(s)
+		}(pi, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// Map applies fn to every index of [0, n) concurrently and returns results
+// in index order.
+func Map[T any](e *Engine, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	e.For(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Reduce folds per-partition results left-to-right in partition order.
+// merge may mutate and return its first argument.
+func Reduce[T any](parts []T, merge func(acc, next T) T) T {
+	var acc T
+	for i, p := range parts {
+		if i == 0 {
+			acc = p
+			continue
+		}
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
+// SumInts is a convenience reduction for integer partial counts.
+func SumInts(parts []int) int {
+	total := 0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// SumFloats is a convenience reduction for float64 partial sums.
+func SumFloats(parts []float64) float64 {
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}
+
+// GroupBy builds a grouped index from n input rows: emit is called for every
+// row index and may yield any number of (key, value) pairs; the result maps
+// each key to its values. Values for a key appear in deterministic order:
+// partition order first, then row order within the partition — the same
+// order a sequential loop would produce.
+//
+// This is the engine's "shuffle": partition-local grouping followed by an
+// ordered merge, the substitute for Spark's groupByKey used to build blocks.
+func GroupBy[K comparable, V any](e *Engine, n int, emit func(i int, yield func(K, V))) map[K][]V {
+	locals := MapSpans(e, n, func(s Span) map[K][]V {
+		m := make(map[K][]V)
+		for i := s.Lo; i < s.Hi; i++ {
+			emit(i, func(k K, v V) {
+				m[k] = append(m[k], v)
+			})
+		}
+		return m
+	})
+	switch len(locals) {
+	case 0:
+		return map[K][]V{}
+	case 1:
+		return locals[0]
+	}
+	out := locals[0]
+	for _, m := range locals[1:] {
+		for k, vs := range m {
+			out[k] = append(out[k], vs...)
+		}
+	}
+	return out
+}
+
+// CountBy tallies keys emitted per row, merging partition-local counters in
+// partition order. It is the shuffle used for Entity Frequency statistics.
+func CountBy[K comparable](e *Engine, n int, emit func(i int, yield func(K))) map[K]int {
+	locals := MapSpans(e, n, func(s Span) map[K]int {
+		m := make(map[K]int)
+		for i := s.Lo; i < s.Hi; i++ {
+			emit(i, func(k K) { m[k]++ })
+		}
+		return m
+	})
+	switch len(locals) {
+	case 0:
+		return map[K]int{}
+	case 1:
+		return locals[0]
+	}
+	out := locals[0]
+	for _, m := range locals[1:] {
+		for k, c := range m {
+			out[k] += c
+		}
+	}
+	return out
+}

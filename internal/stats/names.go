@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"sort"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+)
+
+// AttributeStat carries the name-worthiness statistics of one literal
+// attribute (§2.2, "Entity Names"). Following [32] as cited by the paper,
+// for name attributes support is defined over subjects:
+//
+//	support(p) = |subjects(p)| / |E|
+//	discriminability(p) = |values(p)| / |instances(p)|
+//	importance(p) = harmonic mean of the two
+//
+// High support means the attribute is present on most entities; high
+// discriminability means its values are near-unique — exactly what makes a
+// value usable as a name.
+type AttributeStat struct {
+	Attribute        string
+	Subjects         int
+	Instances        int
+	DistinctValues   int
+	Support          float64
+	Discriminability float64
+	Importance       float64
+}
+
+type attrAgg struct {
+	subjects  map[kb.EntityID]struct{}
+	values    map[string]struct{}
+	instances int
+}
+
+// AttributeImportances computes name-worthiness statistics for every literal
+// attribute of the KB, sorted by decreasing importance (ties broken by
+// attribute name).
+func AttributeImportances(e *parallel.Engine, k *kb.KB) []AttributeStat {
+	type sv struct {
+		s kb.EntityID
+		v string
+	}
+	grouped := parallel.GroupBy(e, k.Len(), func(i int, yield func(string, sv)) {
+		d := k.Entity(kb.EntityID(i))
+		for _, av := range d.Attrs {
+			yield(av.Attribute, sv{kb.EntityID(i), kb.NormalizeName(av.Value)})
+		}
+	})
+	n := float64(k.Len())
+	out := make([]AttributeStat, 0, len(grouped))
+	for attr, svs := range grouped {
+		agg := attrAgg{
+			subjects: make(map[kb.EntityID]struct{}),
+			values:   make(map[string]struct{}),
+		}
+		for _, x := range svs {
+			agg.subjects[x.s] = struct{}{}
+			agg.values[x.v] = struct{}{}
+			agg.instances++
+		}
+		st := AttributeStat{
+			Attribute:      attr,
+			Subjects:       len(agg.subjects),
+			Instances:      agg.instances,
+			DistinctValues: len(agg.values),
+		}
+		if n > 0 {
+			st.Support = float64(st.Subjects) / n
+		}
+		if st.Instances > 0 {
+			st.Discriminability = float64(st.DistinctValues) / float64(st.Instances)
+		}
+		st.Importance = harmonicMean(st.Support, st.Discriminability)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Importance != out[j].Importance {
+			return out[i].Importance > out[j].Importance
+		}
+		return out[i].Attribute < out[j].Attribute
+	})
+	return out
+}
+
+// NameAttributes returns the global top-k attributes of highest importance;
+// their literal values act as entity names (§2.2).
+func NameAttributes(e *parallel.Engine, k *kb.KB, topK int) []string {
+	stats := AttributeImportances(e, k)
+	if topK > len(stats) {
+		topK = len(stats)
+	}
+	names := make([]string, 0, topK)
+	for _, s := range stats[:topK] {
+		names = append(names, s.Attribute)
+	}
+	return names
+}
+
+// NamesOf returns the normalized name values of one entity under the given
+// name attributes (function name(e_i) of §2.2). Empty normalized values are
+// dropped; duplicates are removed; order is sorted for determinism.
+func NamesOf(d *kb.Description, nameAttrs []string) []string {
+	isName := make(map[string]bool, len(nameAttrs))
+	for _, a := range nameAttrs {
+		isName[a] = true
+	}
+	set := make(map[string]struct{})
+	for _, av := range d.Attrs {
+		if !isName[av.Attribute] {
+			continue
+		}
+		n := kb.NormalizeName(av.Value)
+		if n != "" {
+			set[n] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,221 @@
+// Package stats computes the schema-agnostic statistics MinoanER derives
+// from a pair of KBs (§2 of the paper): Entity Frequency of tokens (the IDF
+// analogue behind valueSim), relation support / discriminability / importance
+// (Defs. 2.2–2.4), per-entity top-N neighbors and their reverse index, and
+// the global top-k name attributes whose values act as entity names.
+//
+// All statistics are produced by data-parallel passes over the KB through
+// the parallel engine, mirroring the Spark stages of §4.1.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+)
+
+// EFIndex holds the Entity Frequency of every token in one KB: the number of
+// entity descriptions whose values contain the token (Def. 2.1).
+type EFIndex struct {
+	counts map[string]int
+}
+
+// BuildEF computes the EF index with a parallel count-by-token pass.
+func BuildEF(e *parallel.Engine, k *kb.KB) *EFIndex {
+	counts := parallel.CountBy(e, k.Len(), func(i int, yield func(string)) {
+		for _, t := range k.Entity(kb.EntityID(i)).Tokens() {
+			yield(t)
+		}
+	})
+	return &EFIndex{counts: counts}
+}
+
+// EF returns the entity frequency of token t (0 if the token never occurs).
+func (ix *EFIndex) EF(t string) int { return ix.counts[t] }
+
+// DistinctTokens returns the number of distinct tokens in the KB.
+func (ix *EFIndex) DistinctTokens() int { return len(ix.counts) }
+
+// RelationStat carries the support, discriminability and importance of one
+// relation predicate (Defs. 2.2–2.4).
+type RelationStat struct {
+	Predicate string
+	// Instances is |instances(p)|: the number of distinct (subject, object)
+	// pairs connected by p.
+	Instances int
+	// Objects is |objects(p)|: the number of distinct objects of p.
+	Objects int
+	// Support = |instances(p)| / |E|².
+	Support float64
+	// Discriminability = |objects(p)| / |instances(p)|.
+	Discriminability float64
+	// Importance is the harmonic mean of Support and Discriminability.
+	Importance float64
+}
+
+type pair struct {
+	s kb.EntityID
+	o kb.EntityID
+}
+
+// RelationImportances computes per-predicate statistics for all relations of
+// the KB. The returned slice is sorted by decreasing importance, breaking
+// ties by predicate name so the global order (Algorithm 1 line 37) is
+// deterministic.
+func RelationImportances(e *parallel.Engine, k *kb.KB) []RelationStat {
+	grouped := parallel.GroupBy(e, k.Len(), func(i int, yield func(string, pair)) {
+		d := k.Entity(kb.EntityID(i))
+		for _, r := range d.Relations {
+			yield(r.Predicate, pair{kb.EntityID(i), r.Object})
+		}
+	})
+	n := float64(k.Len())
+	stats := make([]RelationStat, 0, len(grouped))
+	for p, pairs := range grouped {
+		instSet := make(map[pair]struct{}, len(pairs))
+		objSet := make(map[kb.EntityID]struct{})
+		for _, pr := range pairs {
+			instSet[pr] = struct{}{}
+			objSet[pr.o] = struct{}{}
+		}
+		st := RelationStat{Predicate: p, Instances: len(instSet), Objects: len(objSet)}
+		if n > 0 {
+			st.Support = float64(st.Instances) / (n * n)
+		}
+		if st.Instances > 0 {
+			st.Discriminability = float64(st.Objects) / float64(st.Instances)
+		}
+		st.Importance = harmonicMean(st.Support, st.Discriminability)
+		stats = append(stats, st)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Importance != stats[j].Importance {
+			return stats[i].Importance > stats[j].Importance
+		}
+		return stats[i].Predicate < stats[j].Predicate
+	})
+	return stats
+}
+
+func harmonicMean(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// GlobalRelationOrder maps each predicate to its rank in the importance
+// order (0 = most important). It is the globalOrder of Algorithm 1.
+func GlobalRelationOrder(stats []RelationStat) map[string]int {
+	order := make(map[string]int, len(stats))
+	for i, s := range stats {
+		order[s.Predicate] = i
+	}
+	return order
+}
+
+// TopNeighbors returns, for every entity of the KB, its top neighbors: the
+// objects of its top-N most important relations (localOrder of Algorithm 1,
+// lines 36–43). Neighbor lists are deduplicated and sorted by entity ID.
+func TopNeighbors(e *parallel.Engine, k *kb.KB, order map[string]int, n int) [][]kb.EntityID {
+	if n <= 0 {
+		return make([][]kb.EntityID, k.Len())
+	}
+	return parallel.Map(e, k.Len(), func(i int) []kb.EntityID {
+		d := k.Entity(kb.EntityID(i))
+		if len(d.Relations) == 0 {
+			return nil
+		}
+		// localOrder(e): the entity's distinct relations sorted by the
+		// global importance order.
+		rels := make([]string, 0, len(d.Relations))
+		seen := make(map[string]bool, len(d.Relations))
+		for _, r := range d.Relations {
+			if !seen[r.Predicate] {
+				seen[r.Predicate] = true
+				rels = append(rels, r.Predicate)
+			}
+		}
+		sort.Slice(rels, func(a, b int) bool { return order[rels[a]] < order[rels[b]] })
+		if len(rels) > n {
+			rels = rels[:n]
+		}
+		top := make(map[string]bool, len(rels))
+		for _, p := range rels {
+			top[p] = true
+		}
+		nset := make(map[kb.EntityID]struct{})
+		for _, r := range d.Relations {
+			if top[r.Predicate] {
+				nset[r.Object] = struct{}{}
+			}
+		}
+		out := make([]kb.EntityID, 0, len(nset))
+		for id := range nset {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	})
+}
+
+// TopInNeighbors reverses a TopNeighbors index: result[e] lists the entities
+// that have e among their top neighbors (Algorithm 1, lines 44–47). Lists
+// are sorted by entity ID.
+func TopInNeighbors(top [][]kb.EntityID) [][]kb.EntityID {
+	in := make([][]kb.EntityID, len(top))
+	for src, neighbors := range top {
+		for _, dst := range neighbors {
+			in[dst] = append(in[dst], kb.EntityID(src))
+		}
+	}
+	for i := range in {
+		sort.Slice(in[i], func(a, b int) bool { return in[i][a] < in[i][b] })
+	}
+	return in
+}
+
+// ValueSim computes Def. 2.1 directly from the two descriptions and EF
+// indices:
+//
+//	valueSim(ei, ej) = Σ_{t ∈ tokens(ei) ∩ tokens(ej)} 1 / log2(EF₁(t)·EF₂(t) + 1)
+//
+// The production pipeline derives the same quantity from token-block sizes
+// (Algorithm 1 line 14); this direct form is the reference implementation
+// used by tests and by Figure 2.
+func ValueSim(di, dj *kb.Description, ef1, ef2 *EFIndex) float64 {
+	ti, tj := di.Tokens(), dj.Tokens()
+	sum := 0.0
+	// Both token slices are sorted: linear merge intersection.
+	a, b := 0, 0
+	for a < len(ti) && b < len(tj) {
+		switch {
+		case ti[a] < tj[b]:
+			a++
+		case ti[a] > tj[b]:
+			b++
+		default:
+			sum += TokenWeight(ef1.EF(ti[a]), ef2.EF(tj[b]))
+			a++
+			b++
+		}
+	}
+	return sum
+}
+
+// TokenWeight is the contribution of one shared token: 1/log2(EF₁·EF₂+1).
+// A token unique to both KBs (EF₁·EF₂ = 1) contributes 1, the paper's
+// maximum per-token contribution. Frequencies below 1 are clamped so the
+// weight stays finite even for degenerate indices.
+func TokenWeight(ef1, ef2 int) float64 {
+	if ef1 < 1 {
+		ef1 = 1
+	}
+	if ef2 < 1 {
+		ef2 = 1
+	}
+	prod := float64(ef1) * float64(ef2)
+	return 1 / math.Log2(prod+1)
+}

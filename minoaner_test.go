@@ -1,0 +1,116 @@
+package minoaner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way the README quickstart
+// does: build two KBs, resolve, evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b1 := NewBuilder("left")
+	r1 := b1.AddEntity("l:fatduck")
+	b1.AddLiteral(r1, "label", "The Fat Duck")
+	b1.AddLiteral(r1, "town", "Bray Berkshire")
+	c1 := b1.AddEntity("l:chef")
+	b1.AddLiteral(c1, "label", "Heston Blumenthal")
+	b1.AddObject(r1, "chef", "l:chef")
+	k1 := b1.Build()
+
+	b2 := NewBuilder("right")
+	r2 := b2.AddEntity("r:fat-duck")
+	b2.AddLiteral(r2, "name", "Fat Duck restaurant")
+	b2.AddLiteral(r2, "location", "Bray")
+	c2 := b2.AddEntity("r:heston")
+	b2.AddLiteral(c2, "name", "Heston Blumenthal")
+	b2.AddObject(r2, "headChef", "r:heston")
+	k2 := b2.Build()
+
+	out, err := Resolve(k1, k2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, skipped := GroundTruthFromURIs(k1, k2, [][2]string{
+		{"l:fatduck", "r:fat-duck"},
+		{"l:chef", "r:heston"},
+	})
+	if skipped != 0 {
+		t.Fatal("ground truth URIs missing")
+	}
+	var pairs []Pair
+	for _, m := range out.Matches {
+		pairs = append(pairs, m.Pair)
+	}
+	m := Evaluate(pairs, gt)
+	if m.TruePositives < 2 {
+		t.Errorf("end-to-end found %d/2 matches: %+v", m.TruePositives, out.Matches)
+	}
+}
+
+func TestPublicAPIBenchmark(t *testing.T) {
+	p := ScaleProfile(RestaurantProfile(), 0.3)
+	d, err := GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Resolve(d.K1, d.K2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(out.Pairs(), d.GT)
+	if m.F1 < 0.8 {
+		t.Errorf("benchmark F1 = %v, want ≥ 0.8", m.F1)
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	b := NewBuilder("x")
+	e := b.AddEntity("u")
+	b.AddLiteral(e, "p", "hello world")
+	k := b.Build()
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	k2, skipped, err := LoadNTriples("x", &buf, false)
+	if err != nil || skipped != 0 {
+		t.Fatalf("round trip: %v (skipped %d)", err, skipped)
+	}
+	if k2.Len() != 1 {
+		t.Error("round trip lost entities")
+	}
+	k3, _, err := LoadTSV("y", strings.NewReader("a\tp\tv\n"), false)
+	if err != nil || k3.Len() != 1 {
+		t.Error("LoadTSV facade")
+	}
+}
+
+func TestPublicAPIPARISBaseline(t *testing.T) {
+	p := ScaleProfile(RestaurantProfile(), 0.3)
+	d, err := GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := PARISBaseline(d.K1, d.K2)
+	if len(pairs) == 0 {
+		t.Error("PARIS baseline found nothing")
+	}
+}
+
+func TestPublicAPIRuleAblation(t *testing.T) {
+	p := ScaleProfile(RestaurantProfile(), 0.3)
+	d, _ := GenerateBenchmark(p)
+	cfg := DefaultConfig()
+	rules := RuleConfig{Theta: 0.6, EnableR1: true, UseNeighbors: true}
+	cfg.Rules = &rules
+	out, err := Resolve(d.K1, d.K2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range out.Matches {
+		if m.Rule.String() != "R1" {
+			t.Errorf("R1-only config produced %v", m.Rule)
+		}
+	}
+}
