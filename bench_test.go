@@ -257,7 +257,7 @@ func BenchmarkAblationPurging(b *testing.B) {
 	for _, purge := range []struct {
 		name string
 		frac float64
-	}{{"with", 0.0005}, {"without", 0}} {
+	}{{"with", 0.0005}, {"without", core.NoBlockPurging}} {
 		b.Run(purge.name, func(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.MaxBlockFraction = purge.frac

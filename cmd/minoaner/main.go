@@ -5,14 +5,18 @@
 //
 //	minoaner -e1 kb1.nt -e2 kb2.nt [-format nt|tsv] [-gt truth.tsv]
 //	         [-k 2] [-K 15] [-N 3] [-theta 0.6] [-workers 0] [-rules]
+//	         [-timeout 30s]
 //
 // With -gt (a TSV of uri1<TAB>uri2 true matches) it also reports precision,
 // recall and F1. With -rules each output line is annotated with the
-// matching rule (R1–R3) that produced it.
+// matching rule (R1–R3) that produced it. With -timeout the resolution is
+// aborted (exit status 1) once the duration elapses.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		rules   = flag.Bool("rules", false, "annotate matches with the producing rule")
 		quiet   = flag.Bool("quiet", false, "suppress the summary on stderr")
+		timeout = flag.Duration("timeout", 0, "abort resolution after this duration (0 = no limit)")
 	)
 	flag.Parse()
 	if *e1Path == "" || *e2Path == "" {
@@ -53,7 +58,16 @@ func main() {
 	cfg.Theta = *theta
 	cfg.Workers = *workers
 
-	out, err := minoaner.Resolve(k1, k2, cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	out, err := minoaner.ResolveContext(ctx, k1, k2, cfg)
+	if errors.Is(err, context.DeadlineExceeded) {
+		exitOn(fmt.Errorf("resolution exceeded -timeout %v", *timeout))
+	}
 	exitOn(err)
 
 	w := bufio.NewWriter(os.Stdout)

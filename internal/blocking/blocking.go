@@ -6,6 +6,7 @@
 package blocking
 
 import (
+	"context"
 	"sort"
 
 	"minoaner/internal/kb"
@@ -52,11 +53,13 @@ type sideID struct {
 
 // buildCollection groups keyed entity occurrences from both KBs into cross-KB
 // blocks. Blocks with entities from only one KB are dropped: they suggest no
-// clean-clean comparisons. Keys and members come out sorted.
-func buildCollection(e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int, yield func(string))) *Collection {
+// clean-clean comparisons. Keys and members come out sorted. The grouping
+// pass runs under the dynamic chunked scheduler: per-entity key counts are
+// skewed (token counts follow a power law), so static spans would straggle.
+func buildCollection(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int, yield func(string))) (*Collection, error) {
 	n1 := k1.Len()
 	total := n1 + k2.Len()
-	grouped := parallel.GroupBy(e, total, func(i int, yield func(string, sideID)) {
+	grouped, err := parallel.GroupByCtx(ctx, e.Chunked(), total, func(i int, yield func(string, sideID)) {
 		if i < n1 {
 			emit1(i, func(key string) { yield(key, sideID{1, kb.EntityID(i)}) })
 		} else {
@@ -64,6 +67,9 @@ func buildCollection(e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int,
 			emit2(j, func(key string) { yield(key, sideID{2, kb.EntityID(j)}) })
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	blocks := make([]Block, 0, len(grouped))
 	for key, members := range grouped {
 		var b Block
@@ -83,15 +89,15 @@ func buildCollection(e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int,
 		blocks = append(blocks, b)
 	}
 	sort.Slice(blocks, func(a, c int) bool { return blocks[a].Key < blocks[c].Key })
-	return &Collection{Blocks: blocks}
+	return &Collection{Blocks: blocks}, nil
 }
 
-// TokenBlocks builds token blocking (§3.1, h_T): one block per token shared
-// by at least one entity of each KB. Because the per-KB side sizes |b1|, |b2|
-// equal the Entity Frequencies EF₁(t), EF₂(t), valueSim is derivable from
-// these blocks alone (Algorithm 1, line 14).
-func TokenBlocks(e *parallel.Engine, k1, k2 *kb.KB) *Collection {
-	return buildCollection(e, k1, k2,
+// TokenBlocksCtx builds token blocking (§3.1, h_T): one block per token
+// shared by at least one entity of each KB. Because the per-KB side sizes
+// |b1|, |b2| equal the Entity Frequencies EF₁(t), EF₂(t), valueSim is
+// derivable from these blocks alone (Algorithm 1, line 14).
+func TokenBlocksCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*Collection, error) {
+	return buildCollection(ctx, e, k1, k2,
 		func(i int, yield func(string)) {
 			for _, t := range k1.Entity(kb.EntityID(i)).Tokens() {
 				yield(t)
@@ -104,12 +110,18 @@ func TokenBlocks(e *parallel.Engine, k1, k2 *kb.KB) *Collection {
 		})
 }
 
-// NameBlocks builds name blocking (§3.1, h_N): one block per normalized name
-// value under each KB's top-k name attributes. The matcher's R1 rule uses
-// only blocks of size 1×1 (a name unique in both KBs), but the full
+// TokenBlocks is TokenBlocksCtx without cancellation.
+func TokenBlocks(e *parallel.Engine, k1, k2 *kb.KB) *Collection {
+	out, _ := TokenBlocksCtx(context.Background(), e, k1, k2)
+	return out
+}
+
+// NameBlocksCtx builds name blocking (§3.1, h_N): one block per normalized
+// name value under each KB's top-k name attributes. The matcher's R1 rule
+// uses only blocks of size 1×1 (a name unique in both KBs), but the full
 // collection is kept for Table 2 statistics.
-func NameBlocks(e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) *Collection {
-	return buildCollection(e, k1, k2,
+func NameBlocksCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) (*Collection, error) {
+	return buildCollection(ctx, e, k1, k2,
 		func(i int, yield func(string)) {
 			for _, n := range stats.NamesOf(k1.Entity(kb.EntityID(i)), nameAttrs1) {
 				yield(n)
@@ -120,6 +132,12 @@ func NameBlocks(e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []stri
 				yield(n)
 			}
 		})
+}
+
+// NameBlocks is NameBlocksCtx without cancellation.
+func NameBlocks(e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) *Collection {
+	out, _ := NameBlocksCtx(context.Background(), e, k1, k2, nameAttrs1, nameAttrs2)
+	return out
 }
 
 // PurgeAbove removes blocks whose comparison count exceeds maxComparisons

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,9 @@ type Config struct {
 	// comparison count exceeds this fraction of |E1|·|E2| correspond to
 	// highly frequent, stop-word-like tokens and are removed. The paper
 	// reports that purging leaves two orders of magnitude fewer comparisons
-	// than brute force without hurting recall. Zero disables purging.
+	// than brute force without hurting recall. Zero selects the paper's
+	// default (0.0005), like the other parameters; set NoBlockPurging (or
+	// any negative value) to disable purging explicitly.
 	MaxBlockFraction float64
 	// Workers sets the parallel engine size; 0 uses all cores.
 	Workers int
@@ -45,6 +48,11 @@ type Config struct {
 	// zero value means "all rules enabled" (see normalize).
 	Rules *matching.Config
 }
+
+// NoBlockPurging is the MaxBlockFraction sentinel that disables Block
+// Purging explicitly. (A zero MaxBlockFraction means "use the default",
+// consistent with every other Config field.)
+const NoBlockPurging = -1.0
 
 // DefaultConfig returns the paper's global configuration.
 func DefaultConfig() Config {
@@ -71,6 +79,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Theta == 0 {
 		c.Theta = d.Theta
+	}
+	if c.MaxBlockFraction == 0 {
+		c.MaxBlockFraction = d.MaxBlockFraction
+	}
+	if c.MaxBlockFraction < 0 {
+		c.MaxBlockFraction = 0 // explicitly disabled via NoBlockPurging
 	}
 	if c.NameK < 0 || c.TopK <= 0 || c.RelN < 0 {
 		return c, fmt.Errorf("core: invalid config: k=%d K=%d N=%d must be non-negative (K positive)", c.NameK, c.TopK, c.RelN)
@@ -127,6 +141,16 @@ func (o *Output) Pairs() []eval.Pair {
 
 // Resolve runs the full MinoanER pipeline on two clean KBs.
 func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
+	return ResolveContext(context.Background(), k1, k2, cfg)
+}
+
+// ResolveContext runs the full MinoanER pipeline on two clean KBs under the
+// given context. Cancellation is cooperative: every data-parallel pass
+// observes ctx between chunks, so the pipeline aborts promptly (returning
+// ctx.Err()) when the context is cancelled or its deadline expires — the
+// early-termination primitive that progressive/any-time ER and request
+// timeouts in a serving deployment both need.
+func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
@@ -143,26 +167,67 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 		ord1, ord2 map[string]int
 		top1, top2 [][]kb.EntityID
 	)
-	eng.Concurrent(
-		func() { out.NameAttrs1 = stats.NameAttributes(eng, k1, cfg.NameK) },
-		func() { out.NameAttrs2 = stats.NameAttributes(eng, k2, cfg.NameK) },
-		func() { ord1 = stats.GlobalRelationOrder(stats.RelationImportances(eng, k1)) },
-		func() { ord2 = stats.GlobalRelationOrder(stats.RelationImportances(eng, k2)) },
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			out.NameAttrs1, err = stats.NameAttributesCtx(sc, eng, k1, cfg.NameK)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			out.NameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
+			ord1 = stats.GlobalRelationOrder(ri)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
+			ord2 = stats.GlobalRelationOrder(ri)
+			return err
+		},
 	)
-	eng.Concurrent(
-		func() { top1 = stats.TopNeighbors(eng, k1, ord1, cfg.RelN) },
-		func() { top2 = stats.TopNeighbors(eng, k2, ord2, cfg.RelN) },
+	if err != nil {
+		return nil, err
+	}
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			top1, err = stats.TopNeighborsCtx(sc, eng, k1, ord1, cfg.RelN)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			top2, err = stats.TopNeighborsCtx(sc, eng, k2, ord2, cfg.RelN)
+			return err
+		},
 	)
+	if err != nil {
+		return nil, err
+	}
 	out.Timings.Statistics = time.Since(t0)
 
 	// Stage 2 — composite blocking: name blocking ∥ token blocking, then
 	// Block Purging of stop-word token blocks.
 	t0 = time.Now()
 	var nameBlocks, tokenBlocks *blocking.Collection
-	eng.Concurrent(
-		func() { nameBlocks = blocking.NameBlocks(eng, k1, k2, out.NameAttrs1, out.NameAttrs2) },
-		func() { tokenBlocks = blocking.TokenBlocks(eng, k1, k2) },
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			nameBlocks, err = blocking.NameBlocksCtx(sc, eng, k1, k2, out.NameAttrs1, out.NameAttrs2)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			tokenBlocks, err = blocking.TokenBlocksCtx(sc, eng, k1, k2)
+			return err
+		},
 	)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.MaxBlockFraction > 0 {
 		cap := int64(float64(k1.Len()) * float64(k2.Len()) * cfg.MaxBlockFraction)
 		if cap < 1 {
@@ -176,7 +241,7 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 
 	// Stage 3 — disjunctive blocking graph (Algorithm 1).
 	t0 = time.Now()
-	g := graph.Build(eng, graph.Input{
+	g, err := graph.BuildCtx(ctx, eng, graph.Input{
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
 		TokenBlocks: tokenBlocks,
@@ -184,6 +249,9 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 		Top2:        top2,
 		K:           cfg.TopK,
 	})
+	if err != nil {
+		return nil, err
+	}
 	out.GraphEdges = g.Edges()
 	out.Timings.Graph = time.Since(t0)
 
@@ -191,7 +259,10 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 	t0 = time.Now()
 	mc := *cfg.Rules
 	mc.Theta = cfg.Theta
-	res := matching.Run(eng, g, k1, k2, mc)
+	res, err := matching.RunCtx(ctx, eng, g, k1, k2, mc)
+	if err != nil {
+		return nil, err
+	}
 	out.Matches = res.Matches
 	out.RemovedByR4 = res.RemovedByR4
 	out.Timings.Matching = time.Since(t0)

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
@@ -59,8 +64,31 @@ func TestConfigNormalization(t *testing.T) {
 	if c.NameK != 2 || c.TopK != 15 || c.RelN != 3 || c.Theta != 0.6 {
 		t.Errorf("defaults = %+v", c)
 	}
+	if c.MaxBlockFraction != DefaultConfig().MaxBlockFraction {
+		t.Errorf("zero MaxBlockFraction = %v, want the default %v (purging silently disabled)",
+			c.MaxBlockFraction, DefaultConfig().MaxBlockFraction)
+	}
 	if c.Rules == nil || !c.Rules.EnableR1 {
 		t.Error("default rules must enable R1")
+	}
+}
+
+func TestConfigNoBlockPurgingSentinel(t *testing.T) {
+	c, err := Config{MaxBlockFraction: NoBlockPurging}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxBlockFraction != 0 {
+		t.Errorf("NoBlockPurging normalized to %v, want 0 (disabled)", c.MaxBlockFraction)
+	}
+	// End to end: the sentinel must leave every block unpurged.
+	w, d := testkb.Figure1()
+	out, err := Resolve(w, d, Config{MaxBlockFraction: NoBlockPurging})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PurgedBlocks != 0 || out.PurgeThreshold != 0 {
+		t.Errorf("NoBlockPurging still purged %d blocks (threshold %d)", out.PurgedBlocks, out.PurgeThreshold)
 	}
 }
 
@@ -97,7 +125,7 @@ func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 4, 8} {
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
 		got, err := Resolve(w, d, Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -105,6 +133,116 @@ func TestResolveDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(got.Matches, ref.Matches) {
 			t.Fatalf("matches differ with %d workers", workers)
 		}
+	}
+}
+
+// skewedKBs builds a KB pair whose token blocks follow a heavy-tailed size
+// distribution: a handful of stop-word-like tokens shared by most entities
+// plus unique tokens per pair. This is the workload that exercises the
+// dynamic chunked scheduler — static spans would process the skewed
+// entities in one straggling partition.
+func skewedKBs(n int) (*kb.KB, *kb.KB) {
+	b1 := kb.NewBuilder("S1")
+	b2 := kb.NewBuilder("S2")
+	for i := 0; i < n; i++ {
+		u1 := b1.AddEntity(fmt.Sprintf("s1:e%d", i))
+		u2 := b2.AddEntity(fmt.Sprintf("s2:e%d", i))
+		// Power-law-ish sharing: entity i carries every popular token p
+		// with p dividing i, so token p appears in ~n/p descriptions.
+		label1 := fmt.Sprintf("uniq%dtok", i)
+		label2 := fmt.Sprintf("uniq%dtok", i)
+		for p := 1; p <= 16; p++ {
+			if i%p == 0 {
+				label1 += fmt.Sprintf(" pop%d", p)
+				label2 += fmt.Sprintf(" pop%d", p)
+			}
+		}
+		b1.AddLiteral(u1, "label", label1)
+		b2.AddLiteral(u2, "label", label2)
+		if i > 0 {
+			b1.AddObject(u1, "linked", fmt.Sprintf("s1:e%d", i-1))
+			b2.AddObject(u2, "linked", fmt.Sprintf("s2:e%d", i-1))
+		}
+	}
+	return b1.Build(), b2.Build()
+}
+
+// renderMatches serializes matches so worker-count runs can be compared
+// byte for byte.
+func renderMatches(out *Output) string {
+	var sb strings.Builder
+	for _, m := range out.Matches {
+		fmt.Fprintf(&sb, "%d\t%d\t%s\n", m.Pair.E1, m.Pair.E2, m.Rule)
+	}
+	return sb.String()
+}
+
+// The dynamic chunked scheduler (used by blocking, graph construction and
+// matching) must keep Resolve byte-identical for any worker count, even on
+// a skew-heavy workload.
+func TestResolveDeterministicOnSkewedInput(t *testing.T) {
+	k1, k2 := skewedKBs(300)
+	ref, err := Resolve(k1, k2, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Matches) == 0 {
+		t.Fatal("skewed fixture produced no matches; test is vacuous")
+	}
+	refBytes := renderMatches(ref)
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		got, err := Resolve(k1, k2, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBytes := renderMatches(got); gotBytes != refBytes {
+			t.Fatalf("matches not byte-identical with %d workers:\n--- workers=1\n%s--- workers=%d\n%s",
+				workers, refBytes, workers, gotBytes)
+		}
+	}
+}
+
+func TestResolveContextCancelled(t *testing.T) {
+	w, d := testkb.Figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ResolveContext(ctx, w, d, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ResolveContext on cancelled ctx = (%v, %v), want context.Canceled", out, err)
+	}
+	if out != nil {
+		t.Error("cancelled ResolveContext must not return partial output")
+	}
+}
+
+// An already-expired deadline must abort the pipeline promptly with
+// ctx.Err() instead of resolving the whole (non-trivial) input.
+func TestResolveContextDeadlinePrompt(t *testing.T) {
+	k1, k2 := skewedKBs(400)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, err := ResolveContext(ctx, k1, k2, DefaultConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ResolveContext past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestResolveContextBackgroundMatchesResolve(t *testing.T) {
+	w, d := testkb.Figure1()
+	a, err := Resolve(w, d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResolveContext(context.Background(), w, d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Matches, b.Matches) {
+		t.Error("Resolve and ResolveContext(Background) disagree")
 	}
 }
 

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"context"
+
 	"minoaner/internal/blocking"
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
@@ -14,6 +16,13 @@ import (
 // not purged here; callers that need Block Purging apply it to
 // Input.TokenBlocks before Build (the core pipeline does).
 func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
+	in, _ := InputForCtx(context.Background(), e, k1, k2, nameK, topK, relN)
+	return in
+}
+
+// InputForCtx is InputFor with cancellation and first-error propagation
+// through every upstream stage.
+func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) (Input, error) {
 	var (
 		n1, n2                  []string
 		ord1, ord2              map[string]int
@@ -21,20 +30,53 @@ func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
 	)
 	// Name discovery, relation statistics and token blocking are mutually
 	// independent — run them concurrently as in Figure 4.
-	e.Concurrent(
-		func() { n1 = stats.NameAttributes(e, k1, nameK) },
-		func() { n2 = stats.NameAttributes(e, k2, nameK) },
-		func() { ord1 = stats.GlobalRelationOrder(stats.RelationImportances(e, k1)) },
-		func() { ord2 = stats.GlobalRelationOrder(stats.RelationImportances(e, k2)) },
-		func() { tokenBlocks = blocking.TokenBlocks(e, k1, k2) },
+	err := e.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			n1, err = stats.NameAttributesCtx(sc, e, k1, nameK)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			n2, err = stats.NameAttributesCtx(sc, e, k2, nameK)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, e, k1)
+			ord1 = stats.GlobalRelationOrder(ri)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, e, k2)
+			ord2 = stats.GlobalRelationOrder(ri)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			tokenBlocks, err = blocking.TokenBlocksCtx(sc, e, k1, k2)
+			return err
+		},
 	)
-	nameBlocks = blocking.NameBlocks(e, k1, k2, n1, n2)
+	if err != nil {
+		return Input{}, err
+	}
+	if nameBlocks, err = blocking.NameBlocksCtx(ctx, e, k1, k2, n1, n2); err != nil {
+		return Input{}, err
+	}
+	top1, err := stats.TopNeighborsCtx(ctx, e, k1, ord1, relN)
+	if err != nil {
+		return Input{}, err
+	}
+	top2, err := stats.TopNeighborsCtx(ctx, e, k2, ord2, relN)
+	if err != nil {
+		return Input{}, err
+	}
 	return Input{
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
 		TokenBlocks: tokenBlocks,
-		Top1:        stats.TopNeighbors(e, k1, ord1, relN),
-		Top2:        stats.TopNeighbors(e, k2, ord2, relN),
+		Top1:        top1,
+		Top2:        top2,
 		K:           topK,
-	}
+	}, nil
 }

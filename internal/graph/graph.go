@@ -16,6 +16,7 @@
 package graph
 
 import (
+	"context"
 	"sort"
 
 	"minoaner/internal/blocking"
@@ -56,25 +57,48 @@ type Input struct {
 	K int
 }
 
-// Build runs Algorithm 1: name evidence, value evidence, neighbor evidence,
-// with top-K pruning per node. All three stages are data-parallel over
-// entities; stage boundaries are synchronization barriers exactly as in the
-// Spark architecture of Figure 4.
-func Build(e *parallel.Engine, in Input) *Graph {
+// BuildCtx runs Algorithm 1: name evidence, value evidence, neighbor
+// evidence, with top-K pruning per node. All three stages are data-parallel
+// over entities; stage boundaries are synchronization barriers exactly as in
+// the Spark architecture of Figure 4. Per-entity candidate accumulation is
+// heavily skewed (entities in large token blocks touch far more candidates),
+// so the β and γ passes run under the dynamic chunked scheduler. The first
+// error — in practice only ctx cancellation — aborts all stages.
+func BuildCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, error) {
 	g := &Graph{
 		Alpha1: make([][]kb.EntityID, in.K1.Len()),
 		Alpha2: make([][]kb.EntityID, in.K2.Len()),
 	}
+	ce := e.Chunked()
 	var beta1, beta2 [][]Edge
 	// Name evidence and the two directions of value evidence are mutually
 	// independent (Figure 4 runs them concurrently).
-	e.Concurrent(
-		func() { g.buildAlpha(in) },
-		func() { beta1 = buildBeta(e, in.TokenBlocks, in.K1, true, in.K) },
-		func() { beta2 = buildBeta(e, in.TokenBlocks, in.K2, false, in.K) },
+	err := e.ConcurrentCtx(ctx,
+		func(context.Context) error { g.buildAlpha(in); return nil },
+		func(sc context.Context) error {
+			var err error
+			beta1, err = buildBeta(sc, ce, in.TokenBlocks, in.K1, true, in.K)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			beta2, err = buildBeta(sc, ce, in.TokenBlocks, in.K2, false, in.K)
+			return err
+		},
 	)
+	if err != nil {
+		return nil, err
+	}
 	g.Beta1, g.Beta2 = beta1, beta2
-	g.buildGamma(e, in)
+	if err := g.buildGamma(ctx, ce, in); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Build is BuildCtx without cancellation.
+func Build(e *parallel.Engine, in Input) *Graph {
+	g, _ := BuildCtx(context.Background(), e, in)
 	return g
 }
 
@@ -114,9 +138,9 @@ func sortIDs(xs []kb.EntityID) {
 // valueSim (Algorithm 1, lines 10–19). The per-token contribution is
 // 1/log2(|b1|·|b2|+1): since token-block side sizes equal the per-KB entity
 // frequencies, summing over shared blocks yields exactly Def. 2.1.
-func buildBeta(e *parallel.Engine, tokens *blocking.Collection, from *kb.KB, fromIsE1 bool, k int) [][]Edge {
+func buildBeta(ctx context.Context, e *parallel.Engine, tokens *blocking.Collection, from *kb.KB, fromIsE1 bool, k int) ([][]Edge, error) {
 	ix := blocking.NewIndex(tokens)
-	return parallel.Map(e, from.Len(), func(i int) []Edge {
+	return parallel.MapCtx(ctx, e, from.Len(), func(i int) ([]Edge, error) {
 		d := from.Entity(kb.EntityID(i))
 		var acc map[kb.EntityID]float64
 		for _, t := range d.Tokens() {
@@ -136,7 +160,7 @@ func buildBeta(e *parallel.Engine, tokens *blocking.Collection, from *kb.KB, fro
 				acc[o] += w
 			}
 		}
-		return topK(acc, k)
+		return topK(acc, k), nil
 	})
 }
 
@@ -170,7 +194,7 @@ func topK(acc map[kb.EntityID]float64, k int) []Edge {
 // top neighbor of b, then β contributes to neighborNSim(a, b). The retained
 // (pruned) β-edges of both directions feed the propagation, merged into one
 // undirected adjacency so no contribution is double counted.
-func (g *Graph) buildGamma(e *parallel.Engine, in Input) {
+func (g *Graph) buildGamma(ctx context.Context, e *parallel.Engine, in Input) error {
 	adj1 := mergeAdjacency(g.Beta1, g.Beta2, in.K1.Len())
 	adj2 := mergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
 
@@ -182,7 +206,7 @@ func (g *Graph) buildGamma(e *parallel.Engine, in Input) {
 	// Gather formulation of lines 20–27: γ(a, b) = Σ β(na, y) over a's top
 	// neighbors na and their retained β-edges (na, y) with y a top neighbor
 	// of b, i.e. b ∈ in2[y].
-	g.Gamma1 = parallel.Map(e, in.K1.Len(), func(a int) []Edge {
+	gamma1, err := parallel.MapCtx(ctx, e, in.K1.Len(), func(a int) ([]Edge, error) {
 		var acc map[kb.EntityID]float64
 		for _, na := range in.Top1[a] {
 			for _, edge := range adj1[na] {
@@ -198,9 +222,12 @@ func (g *Graph) buildGamma(e *parallel.Engine, in Input) {
 				}
 			}
 		}
-		return topK(acc, in.K)
+		return topK(acc, in.K), nil
 	})
-	g.Gamma2 = parallel.Map(e, in.K2.Len(), func(b int) []Edge {
+	if err != nil {
+		return err
+	}
+	gamma2, err := parallel.MapCtx(ctx, e, in.K2.Len(), func(b int) ([]Edge, error) {
 		var acc map[kb.EntityID]float64
 		for _, nb := range in.Top2[b] {
 			for _, edge := range adj2[nb] {
@@ -216,8 +243,13 @@ func (g *Graph) buildGamma(e *parallel.Engine, in Input) {
 				}
 			}
 		}
-		return topK(acc, in.K)
+		return topK(acc, in.K), nil
 	})
+	if err != nil {
+		return err
+	}
+	g.Gamma1, g.Gamma2 = gamma1, gamma2
+	return nil
 }
 
 // mergeAdjacency merges the directed retained β-edges of both directions

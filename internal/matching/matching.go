@@ -15,6 +15,7 @@
 package matching
 
 import (
+	"context"
 	"sort"
 
 	"minoaner/internal/eval"
@@ -105,21 +106,31 @@ type matcher struct {
 	matches  []Match
 }
 
-// Run executes Algorithm 2 on the pruned disjunctive blocking graph.
-func Run(e *parallel.Engine, g *graph.Graph, k1, k2 *kb.KB, cfg Config) *Result {
+// RunCtx executes Algorithm 2 on the pruned disjunctive blocking graph.
+// Candidate evaluation in R2/R3 is skewed per entity, so those passes use
+// the dynamic chunked scheduler; cancellation is observed between rules and
+// between chunks within a rule.
+func RunCtx(ctx context.Context, e *parallel.Engine, g *graph.Graph, k1, k2 *kb.KB, cfg Config) (*Result, error) {
 	m := &matcher{
-		g: g, k1: k1, k2: k2, cfg: cfg, eng: e,
+		g: g, k1: k1, k2: k2, cfg: cfg, eng: e.Chunked(),
 		matched1: make([]bool, k1.Len()),
 		matched2: make([]bool, k2.Len()),
 	}
 	if cfg.EnableR1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m.runR1()
 	}
 	if cfg.EnableR2 {
-		m.runR2()
+		if err := m.runR2(ctx); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.EnableR3 {
-		m.runR3()
+		if err := m.runR3(ctx); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{}
 	if cfg.EnableR4 {
@@ -141,6 +152,12 @@ func Run(e *parallel.Engine, g *graph.Graph, k1, k2 *kb.KB, cfg Config) *Result 
 		return a.E2 < b.E2
 	})
 	res.Matches = m.matches
+	return res, nil
+}
+
+// Run is RunCtx without cancellation.
+func Run(e *parallel.Engine, g *graph.Graph, k1, k2 *kb.KB, cfg Config) *Result {
+	res, _ := RunCtx(context.Background(), e, g, k1, k2, cfg)
 	return res
 }
 
@@ -171,32 +188,39 @@ func (m *matcher) runR1() {
 // β ≥ 1 — i.e. the pair shares one globally unique token, or several
 // infrequent ones. Candidate evaluation is parallel; commits are sequential
 // in entity order.
-func (m *matcher) runR2() {
+func (m *matcher) runR2(ctx context.Context) error {
 	if m.k1.Len() <= m.k2.Len() {
-		tops := parallel.Map(m.eng, m.k1.Len(), func(i int) graph.Edge {
+		tops, err := parallel.MapCtx(ctx, m.eng, m.k1.Len(), func(i int) (graph.Edge, error) {
 			if m.matched1[i] || len(m.g.Beta1[i]) == 0 {
-				return graph.Edge{To: kb.NoEntity}
+				return graph.Edge{To: kb.NoEntity}, nil
 			}
-			return m.g.Beta1[i][0]
+			return m.g.Beta1[i][0], nil
 		})
+		if err != nil {
+			return err
+		}
 		for i, top := range tops {
 			if top.To != kb.NoEntity && top.Weight >= 1 {
 				m.commit(eval.Pair{E1: kb.EntityID(i), E2: top.To}, RuleValue)
 			}
 		}
-		return
+		return nil
 	}
-	tops := parallel.Map(m.eng, m.k2.Len(), func(j int) graph.Edge {
+	tops, err := parallel.MapCtx(ctx, m.eng, m.k2.Len(), func(j int) (graph.Edge, error) {
 		if m.matched2[j] || len(m.g.Beta2[j]) == 0 {
-			return graph.Edge{To: kb.NoEntity}
+			return graph.Edge{To: kb.NoEntity}, nil
 		}
-		return m.g.Beta2[j][0]
+		return m.g.Beta2[j][0], nil
 	})
+	if err != nil {
+		return err
+	}
 	for j, top := range tops {
 		if top.To != kb.NoEntity && top.Weight >= 1 {
 			m.commit(eval.Pair{E1: top.To, E2: kb.EntityID(j)}, RuleValue)
 		}
 	}
+	return nil
 }
 
 // runR3 applies the Rank Aggregation Matching Rule (lines 10–23) to every
@@ -213,25 +237,31 @@ func (m *matcher) runR2() {
 // reciprocal edges in almost all cases.
 //
 // Aggregation is parallel per node; commits are sequential in entity order.
-func (m *matcher) runR3() {
+func (m *matcher) runR3(ctx context.Context) error {
 	type pick struct {
 		to    kb.EntityID
 		score float64
 	}
-	pick1 := parallel.Map(m.eng, m.k1.Len(), func(i int) pick {
+	pick1, err := parallel.MapCtx(ctx, m.eng, m.k1.Len(), func(i int) (pick, error) {
 		if m.matched1[i] {
-			return pick{to: kb.NoEntity}
+			return pick{to: kb.NoEntity}, nil
 		}
 		to, score := m.aggregate(m.g.Beta1[i], m.g.Gamma1[i])
-		return pick{to, score}
+		return pick{to, score}, nil
 	})
-	pick2 := parallel.Map(m.eng, m.k2.Len(), func(j int) pick {
+	if err != nil {
+		return err
+	}
+	pick2, err := parallel.MapCtx(ctx, m.eng, m.k2.Len(), func(j int) (pick, error) {
 		if m.matched2[j] {
-			return pick{to: kb.NoEntity}
+			return pick{to: kb.NoEntity}, nil
 		}
 		to, score := m.aggregate(m.g.Beta2[j], m.g.Gamma2[j])
-		return pick{to, score}
+		return pick{to, score}, nil
 	})
+	if err != nil {
+		return err
+	}
 	for i, p := range pick1 {
 		if p.to == kb.NoEntity {
 			continue
@@ -240,6 +270,7 @@ func (m *matcher) runR3() {
 			m.commit(eval.Pair{E1: kb.EntityID(i), E2: p.to}, RuleRank)
 		}
 	}
+	return nil
 }
 
 // aggregate fuses the two ranked candidate lists of one node and returns the

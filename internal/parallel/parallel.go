@@ -6,13 +6,40 @@
 // and results are merged deterministically in partition order.
 //
 // Determinism is a design requirement (tested property): for any worker
-// count, every operation in this package produces results identical to the
-// sequential execution, so the matcher's output never depends on scheduling.
+// count and either scheduler, every operation in this package produces
+// results identical to the sequential execution, so the matcher's output
+// never depends on scheduling.
+//
+// Two schedulers are available per call site:
+//
+//   - Static (the default): [0, n) is split into one contiguous span per
+//     worker. Minimal overhead, ideal for uniform per-row work.
+//   - Dynamic (via Chunked): [0, n) is split into many fixed-size chunks
+//     claimed from a shared atomic counter. Token blocks follow a power-law
+//     size distribution, so per-entity work in blocking-graph construction
+//     and matching is heavily skewed; dynamic claiming keeps all workers
+//     busy instead of idling behind one oversized static span.
+//
+// Every operation has a context-aware variant (ForCtx, MapSpansCtx,
+// GroupByCtx, ConcurrentCtx, …) with cooperative cancellation and
+// first-error propagation in the style of errgroup: the first failing task
+// cancels the rest, and its error is returned after all workers stop.
+// Cancellation is observed between spans/chunks, so the dynamic scheduler
+// also bounds cancellation latency.
+//
+// Invariant relied on by every non-ctx wrapper (here and in the stats,
+// blocking, graph and matching packages): a Ctx variant can only fail with
+// an error from ctx or from a task callback. Wrappers pass
+// context.Background() and callbacks that never fail, so the discarded
+// error is provably nil. Any future non-ctx failure mode added to a Ctx
+// variant must convert these wrappers to return errors.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Engine executes data-parallel stages on a fixed number of workers. The
@@ -20,6 +47,7 @@ import (
 // safe for concurrent use.
 type Engine struct {
 	workers int
+	chunked bool
 }
 
 // New returns an Engine with the given worker count. workers <= 0 selects
@@ -40,6 +68,18 @@ func Sequential() *Engine { return New(1) }
 
 // Workers returns the engine's worker count.
 func (e *Engine) Workers() int { return e.workers }
+
+// Chunked returns a view of the engine that uses the dynamic chunked
+// scheduler: inputs are split into many fixed-size chunks that workers claim
+// from a shared atomic counter, so a partition of skewed rows cannot leave
+// the other workers idle. Results are still merged in chunk (= row) order,
+// so all determinism guarantees are preserved. The receiver is unchanged.
+func (e *Engine) Chunked() *Engine {
+	if e.chunked {
+		return e
+	}
+	return &Engine{workers: e.workers, chunked: true}
+}
 
 // Span is a half-open index range [Lo, Hi) — one partition of the input.
 type Span struct{ Lo, Hi int }
@@ -71,14 +111,136 @@ func (e *Engine) Partitions(n int) []Span {
 	return spans
 }
 
-// For runs fn(i) for every i in [0, n), distributing contiguous partitions
-// over the worker pool and waiting for all of them (a barrier). fn must be
-// safe to call concurrently for distinct i.
-func (e *Engine) For(n int, fn func(i int)) {
-	e.ForSpans(n, func(s Span) {
-		for i := s.Lo; i < s.Hi; i++ {
-			fn(i)
+// chunksPerWorker controls dynamic chunk granularity: enough chunks that a
+// skewed chunk cannot dominate a worker's share, few enough that the atomic
+// claim overhead stays negligible.
+const chunksPerWorker = 8
+
+// Chunks splits [0, n) into fixed-size contiguous chunks for the dynamic
+// scheduler, targeting chunksPerWorker chunks per worker. It never returns
+// empty chunks; for n == 0 it returns nil.
+func (e *Engine) Chunks(n int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	target := e.workers * chunksPerWorker
+	size := (n + target - 1) / target
+	if size < 1 {
+		size = 1
+	}
+	spans := make([]Span, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
 		}
+		spans = append(spans, Span{lo, hi})
+	}
+	return spans
+}
+
+// spans returns the partitioning of [0, n) under the engine's scheduler.
+func (e *Engine) spans(n int) []Span {
+	if e.chunked {
+		return e.Chunks(n)
+	}
+	return e.Partitions(n)
+}
+
+// runSpans is the scheduling core shared by every operation: workers claim
+// spans from an atomic counter (for static partitioning there is one span
+// per worker, so claiming degenerates to the classic assignment; for
+// chunked partitioning it load-balances). fn receives the span's index so
+// callers can store results deterministically. The first error cancels the
+// remaining spans and is returned once all workers have stopped; if the
+// parent context is cancelled mid-run, its error is returned instead.
+func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s Span) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	if len(spans) == 1 || e.workers == 1 {
+		for pi, s := range spans {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(pi, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	workers := e.workers
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				pi := int(next.Add(1)) - 1
+				if pi >= len(spans) {
+					return
+				}
+				if err := fn(pi, spans[pi]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// If no task failed but the parent context was cancelled, report that.
+	once.Do(func() { firstErr = ctx.Err() })
+	return firstErr
+}
+
+// ForSpansCtx runs fn once per span of [0, n) concurrently under the
+// engine's scheduler, propagating cancellation and the first error.
+func (e *Engine) ForSpansCtx(ctx context.Context, n int, fn func(s Span) error) error {
+	return e.runSpans(ctx, e.spans(n), func(_ int, s Span) error { return fn(s) })
+}
+
+// ForCtx runs fn(i) for every i in [0, n) with cancellation and first-error
+// propagation. fn must be safe to call concurrently for distinct i.
+func (e *Engine) ForCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return e.ForSpansCtx(ctx, n, func(s Span) error {
+		for i := s.Lo; i < s.Hi; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// For runs fn(i) for every i in [0, n), distributing spans over the worker
+// pool and waiting for all of them (a barrier). fn must be safe to call
+// concurrently for distinct i.
+func (e *Engine) For(n int, fn func(i int)) {
+	_ = e.ForCtx(context.Background(), n, func(i int) error {
+		fn(i)
+		return nil
 	})
 }
 
@@ -87,23 +249,50 @@ func (e *Engine) For(n int, fn func(i int)) {
 // (local hash maps, accumulators) without locking — the moral equivalent of
 // Spark's mapPartitions.
 func (e *Engine) ForSpans(n int, fn func(s Span)) {
-	spans := e.Partitions(n)
-	if len(spans) == 0 {
-		return
+	_ = e.ForSpansCtx(context.Background(), n, func(s Span) error {
+		fn(s)
+		return nil
+	})
+}
+
+// ConcurrentCtx runs the given stages concurrently — every stage gets its
+// own goroutine regardless of the worker count, since stages represent
+// independent pipeline branches (Figure 4), not data partitions. Each stage
+// receives a context that is cancelled as soon as any sibling fails or the
+// parent context is cancelled; the first error is returned after all stages
+// have finished (errgroup semantics).
+func (e *Engine) ConcurrentCtx(ctx context.Context, stages ...func(ctx context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	if len(spans) == 1 {
-		fn(spans[0])
-		return
+	if len(stages) == 0 {
+		return nil
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(spans))
-	for _, s := range spans {
-		go func(s Span) {
+	if len(stages) == 1 {
+		return stages[0](ctx)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(len(stages))
+	for _, st := range stages {
+		go func(st func(ctx context.Context) error) {
 			defer wg.Done()
-			fn(s)
-		}(s)
+			if err := st(cctx); err != nil {
+				once.Do(func() {
+					firstErr = err
+					cancel()
+				})
+			}
+		}(st)
 	}
 	wg.Wait()
+	once.Do(func() { firstErr = ctx.Err() })
+	return firstErr
 }
 
 // Concurrent runs the given stages concurrently and waits for all of them.
@@ -111,47 +300,70 @@ func (e *Engine) ForSpans(n int, fn func(s Span)) {
 // and top-neighbor extraction execute as independent parallel processes
 // joined at a synchronization point.
 func (e *Engine) Concurrent(stages ...func()) {
-	if len(stages) == 1 {
-		stages[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(stages))
-	for _, st := range stages {
-		go func(st func()) {
-			defer wg.Done()
+	wrapped := make([]func(ctx context.Context) error, len(stages))
+	for i, st := range stages {
+		wrapped[i] = func(context.Context) error {
 			st()
-		}(st)
+			return nil
+		}
 	}
-	wg.Wait()
+	_ = e.ConcurrentCtx(context.Background(), wrapped...)
+}
+
+// MapSpansCtx applies fn to every span of [0, n) concurrently and returns
+// the per-span results in span order (deterministic regardless of
+// scheduling). On cancellation or error the partial results are discarded.
+func MapSpansCtx[T any](ctx context.Context, e *Engine, n int, fn func(s Span) (T, error)) ([]T, error) {
+	spans := e.spans(n)
+	out := make([]T, len(spans))
+	err := e.runSpans(ctx, spans, func(pi int, s Span) error {
+		v, err := fn(s)
+		if err != nil {
+			return err
+		}
+		out[pi] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MapSpans applies fn to every partition of [0, n) concurrently and returns
 // the per-partition results in partition order (deterministic regardless of
 // scheduling).
 func MapSpans[T any](e *Engine, n int, fn func(s Span) T) []T {
-	spans := e.Partitions(n)
-	out := make([]T, len(spans))
-	if len(spans) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(spans))
-	for pi, s := range spans {
-		go func(pi int, s Span) {
-			defer wg.Done()
-			out[pi] = fn(s)
-		}(pi, s)
-	}
-	wg.Wait()
+	out, _ := MapSpansCtx(context.Background(), e, n, func(s Span) (T, error) {
+		return fn(s), nil
+	})
 	return out
+}
+
+// MapCtx applies fn to every index of [0, n) concurrently and returns
+// results in index order, with cancellation and first-error propagation.
+func MapCtx[T any](ctx context.Context, e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := e.ForCtx(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Map applies fn to every index of [0, n) concurrently and returns results
 // in index order.
 func Map[T any](e *Engine, n int, fn func(i int) T) []T {
-	out := make([]T, n)
-	e.For(n, func(i int) { out[i] = fn(i) })
+	out, _ := MapCtx(context.Background(), e, n, func(i int) (T, error) {
+		return fn(i), nil
+	})
 	return out
 }
 
@@ -187,29 +399,33 @@ func SumFloats(parts []float64) float64 {
 	return total
 }
 
-// GroupBy builds a grouped index from n input rows: emit is called for every
-// row index and may yield any number of (key, value) pairs; the result maps
-// each key to its values. Values for a key appear in deterministic order:
-// partition order first, then row order within the partition — the same
+// GroupByCtx builds a grouped index from n input rows: emit is called for
+// every row index and may yield any number of (key, value) pairs; the result
+// maps each key to its values. Values for a key appear in deterministic
+// order: span order first, then row order within the span — and since spans
+// are contiguous ascending ranges under both schedulers, that is exactly the
 // order a sequential loop would produce.
 //
-// This is the engine's "shuffle": partition-local grouping followed by an
-// ordered merge, the substitute for Spark's groupByKey used to build blocks.
-func GroupBy[K comparable, V any](e *Engine, n int, emit func(i int, yield func(K, V))) map[K][]V {
-	locals := MapSpans(e, n, func(s Span) map[K][]V {
+// This is the engine's "shuffle": span-local grouping followed by an ordered
+// merge, the substitute for Spark's groupByKey used to build blocks.
+func GroupByCtx[K comparable, V any](ctx context.Context, e *Engine, n int, emit func(i int, yield func(K, V))) (map[K][]V, error) {
+	locals, err := MapSpansCtx(ctx, e, n, func(s Span) (map[K][]V, error) {
 		m := make(map[K][]V)
 		for i := s.Lo; i < s.Hi; i++ {
 			emit(i, func(k K, v V) {
 				m[k] = append(m[k], v)
 			})
 		}
-		return m
+		return m, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	switch len(locals) {
 	case 0:
-		return map[K][]V{}
+		return map[K][]V{}, nil
 	case 1:
-		return locals[0]
+		return locals[0], nil
 	}
 	out := locals[0]
 	for _, m := range locals[1:] {
@@ -217,24 +433,33 @@ func GroupBy[K comparable, V any](e *Engine, n int, emit func(i int, yield func(
 			out[k] = append(out[k], vs...)
 		}
 	}
+	return out, nil
+}
+
+// GroupBy is GroupByCtx without cancellation.
+func GroupBy[K comparable, V any](e *Engine, n int, emit func(i int, yield func(K, V))) map[K][]V {
+	out, _ := GroupByCtx(context.Background(), e, n, emit)
 	return out
 }
 
-// CountBy tallies keys emitted per row, merging partition-local counters in
-// partition order. It is the shuffle used for Entity Frequency statistics.
-func CountBy[K comparable](e *Engine, n int, emit func(i int, yield func(K))) map[K]int {
-	locals := MapSpans(e, n, func(s Span) map[K]int {
+// CountByCtx tallies keys emitted per row, merging span-local counters in
+// span order. It is the shuffle used for Entity Frequency statistics.
+func CountByCtx[K comparable](ctx context.Context, e *Engine, n int, emit func(i int, yield func(K))) (map[K]int, error) {
+	locals, err := MapSpansCtx(ctx, e, n, func(s Span) (map[K]int, error) {
 		m := make(map[K]int)
 		for i := s.Lo; i < s.Hi; i++ {
 			emit(i, func(k K) { m[k]++ })
 		}
-		return m
+		return m, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	switch len(locals) {
 	case 0:
-		return map[K]int{}
+		return map[K]int{}, nil
 	case 1:
-		return locals[0]
+		return locals[0], nil
 	}
 	out := locals[0]
 	for _, m := range locals[1:] {
@@ -242,5 +467,11 @@ func CountBy[K comparable](e *Engine, n int, emit func(i int, yield func(K))) ma
 			out[k] += c
 		}
 	}
+	return out, nil
+}
+
+// CountBy is CountByCtx without cancellation.
+func CountBy[K comparable](e *Engine, n int, emit func(i int, yield func(K))) map[K]int {
+	out, _ := CountByCtx(context.Background(), e, n, emit)
 	return out
 }

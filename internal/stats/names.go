@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"sort"
 
 	"minoaner/internal/kb"
@@ -34,20 +35,23 @@ type attrAgg struct {
 	instances int
 }
 
-// AttributeImportances computes name-worthiness statistics for every literal
-// attribute of the KB, sorted by decreasing importance (ties broken by
-// attribute name).
-func AttributeImportances(e *parallel.Engine, k *kb.KB) []AttributeStat {
+// AttributeImportancesCtx computes name-worthiness statistics for every
+// literal attribute of the KB, sorted by decreasing importance (ties broken
+// by attribute name).
+func AttributeImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) ([]AttributeStat, error) {
 	type sv struct {
 		s kb.EntityID
 		v string
 	}
-	grouped := parallel.GroupBy(e, k.Len(), func(i int, yield func(string, sv)) {
+	grouped, err := parallel.GroupByCtx(ctx, e, k.Len(), func(i int, yield func(string, sv)) {
 		d := k.Entity(kb.EntityID(i))
 		for _, av := range d.Attrs {
 			yield(av.Attribute, sv{kb.EntityID(i), kb.NormalizeName(av.Value)})
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	n := float64(k.Len())
 	out := make([]AttributeStat, 0, len(grouped))
 	for attr, svs := range grouped {
@@ -81,13 +85,22 @@ func AttributeImportances(e *parallel.Engine, k *kb.KB) []AttributeStat {
 		}
 		return out[i].Attribute < out[j].Attribute
 	})
+	return out, nil
+}
+
+// AttributeImportances is AttributeImportancesCtx without cancellation.
+func AttributeImportances(e *parallel.Engine, k *kb.KB) []AttributeStat {
+	out, _ := AttributeImportancesCtx(context.Background(), e, k)
 	return out
 }
 
-// NameAttributes returns the global top-k attributes of highest importance;
-// their literal values act as entity names (§2.2).
-func NameAttributes(e *parallel.Engine, k *kb.KB, topK int) []string {
-	stats := AttributeImportances(e, k)
+// NameAttributesCtx returns the global top-k attributes of highest
+// importance; their literal values act as entity names (§2.2).
+func NameAttributesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, topK int) ([]string, error) {
+	stats, err := AttributeImportancesCtx(ctx, e, k)
+	if err != nil {
+		return nil, err
+	}
 	if topK > len(stats) {
 		topK = len(stats)
 	}
@@ -95,7 +108,13 @@ func NameAttributes(e *parallel.Engine, k *kb.KB, topK int) []string {
 	for _, s := range stats[:topK] {
 		names = append(names, s.Attribute)
 	}
-	return names
+	return names, nil
+}
+
+// NameAttributes is NameAttributesCtx without cancellation.
+func NameAttributes(e *parallel.Engine, k *kb.KB, topK int) []string {
+	out, _ := NameAttributesCtx(context.Background(), e, k, topK)
+	return out
 }
 
 // NamesOf returns the normalized name values of one entity under the given

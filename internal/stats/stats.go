@@ -9,6 +9,7 @@
 package stats
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -22,14 +23,24 @@ type EFIndex struct {
 	counts map[string]int
 }
 
-// BuildEF computes the EF index with a parallel count-by-token pass.
-func BuildEF(e *parallel.Engine, k *kb.KB) *EFIndex {
-	counts := parallel.CountBy(e, k.Len(), func(i int, yield func(string)) {
+// BuildEFCtx computes the EF index with a parallel count-by-token pass,
+// honoring cancellation.
+func BuildEFCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (*EFIndex, error) {
+	counts, err := parallel.CountByCtx(ctx, e, k.Len(), func(i int, yield func(string)) {
 		for _, t := range k.Entity(kb.EntityID(i)).Tokens() {
 			yield(t)
 		}
 	})
-	return &EFIndex{counts: counts}
+	if err != nil {
+		return nil, err
+	}
+	return &EFIndex{counts: counts}, nil
+}
+
+// BuildEF is BuildEFCtx without cancellation.
+func BuildEF(e *parallel.Engine, k *kb.KB) *EFIndex {
+	ix, _ := BuildEFCtx(context.Background(), e, k)
+	return ix
 }
 
 // EF returns the entity frequency of token t (0 if the token never occurs).
@@ -60,17 +71,20 @@ type pair struct {
 	o kb.EntityID
 }
 
-// RelationImportances computes per-predicate statistics for all relations of
-// the KB. The returned slice is sorted by decreasing importance, breaking
+// RelationImportancesCtx computes per-predicate statistics for all relations
+// of the KB. The returned slice is sorted by decreasing importance, breaking
 // ties by predicate name so the global order (Algorithm 1 line 37) is
 // deterministic.
-func RelationImportances(e *parallel.Engine, k *kb.KB) []RelationStat {
-	grouped := parallel.GroupBy(e, k.Len(), func(i int, yield func(string, pair)) {
+func RelationImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) ([]RelationStat, error) {
+	grouped, err := parallel.GroupByCtx(ctx, e, k.Len(), func(i int, yield func(string, pair)) {
 		d := k.Entity(kb.EntityID(i))
 		for _, r := range d.Relations {
 			yield(r.Predicate, pair{kb.EntityID(i), r.Object})
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	n := float64(k.Len())
 	stats := make([]RelationStat, 0, len(grouped))
 	for p, pairs := range grouped {
@@ -96,7 +110,13 @@ func RelationImportances(e *parallel.Engine, k *kb.KB) []RelationStat {
 		}
 		return stats[i].Predicate < stats[j].Predicate
 	})
-	return stats
+	return stats, nil
+}
+
+// RelationImportances is RelationImportancesCtx without cancellation.
+func RelationImportances(e *parallel.Engine, k *kb.KB) []RelationStat {
+	out, _ := RelationImportancesCtx(context.Background(), e, k)
+	return out
 }
 
 func harmonicMean(a, b float64) float64 {
@@ -116,17 +136,21 @@ func GlobalRelationOrder(stats []RelationStat) map[string]int {
 	return order
 }
 
-// TopNeighbors returns, for every entity of the KB, its top neighbors: the
-// objects of its top-N most important relations (localOrder of Algorithm 1,
-// lines 36–43). Neighbor lists are deduplicated and sorted by entity ID.
-func TopNeighbors(e *parallel.Engine, k *kb.KB, order map[string]int, n int) [][]kb.EntityID {
-	if n <= 0 {
-		return make([][]kb.EntityID, k.Len())
+// TopNeighborsCtx returns, for every entity of the KB, its top neighbors:
+// the objects of its top-N most important relations (localOrder of
+// Algorithm 1, lines 36–43). Neighbor lists are deduplicated and sorted by
+// entity ID.
+func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order map[string]int, n int) ([][]kb.EntityID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return parallel.Map(e, k.Len(), func(i int) []kb.EntityID {
+	if n <= 0 {
+		return make([][]kb.EntityID, k.Len()), nil
+	}
+	return parallel.MapCtx(ctx, e, k.Len(), func(i int) ([]kb.EntityID, error) {
 		d := k.Entity(kb.EntityID(i))
 		if len(d.Relations) == 0 {
-			return nil
+			return nil, nil
 		}
 		// localOrder(e): the entity's distinct relations sorted by the
 		// global importance order.
@@ -157,8 +181,14 @@ func TopNeighbors(e *parallel.Engine, k *kb.KB, order map[string]int, n int) [][
 			out = append(out, id)
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		return out
+		return out, nil
 	})
+}
+
+// TopNeighbors is TopNeighborsCtx without cancellation.
+func TopNeighbors(e *parallel.Engine, k *kb.KB, order map[string]int, n int) [][]kb.EntityID {
+	out, _ := TopNeighborsCtx(context.Background(), e, k, order, n)
+	return out
 }
 
 // TopInNeighbors reverses a TopNeighbors index: result[e] lists the entities

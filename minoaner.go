@@ -32,6 +32,7 @@
 package minoaner
 
 import (
+	"context"
 	"io"
 
 	"minoaner/internal/baselines"
@@ -91,6 +92,10 @@ type Match = matching.Match
 // Rule identifies the matching rule (R1–R4) behind a match.
 type Rule = matching.Rule
 
+// NoBlockPurging disables Block Purging when assigned to
+// Config.MaxBlockFraction (whose zero value selects the paper's default).
+const NoBlockPurging = core.NoBlockPurging
+
 // DefaultConfig returns the paper's suggested global configuration
 // (k, K, N, θ) = (2, 15, 3, 0.6).
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -100,6 +105,13 @@ func DefaultRules() RuleConfig { return matching.DefaultConfig() }
 
 // Resolve runs the full MinoanER pipeline on two clean KBs.
 func Resolve(k1, k2 *KB, cfg Config) (*Output, error) { return core.Resolve(k1, k2, cfg) }
+
+// ResolveContext is Resolve under a context: the pipeline observes ctx
+// between parallel chunks and stage barriers, returning ctx.Err() promptly
+// on cancellation or deadline expiry.
+func ResolveContext(ctx context.Context, k1, k2 *KB, cfg Config) (*Output, error) {
+	return core.ResolveContext(ctx, k1, k2, cfg)
+}
 
 // Pair is a cross-KB correspondence.
 type Pair = eval.Pair

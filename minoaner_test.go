@@ -2,6 +2,8 @@ package minoaner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -112,5 +114,25 @@ func TestPublicAPIRuleAblation(t *testing.T) {
 		if m.Rule.String() != "R1" {
 			t.Errorf("R1-only config produced %v", m.Rule)
 		}
+	}
+}
+
+func TestPublicAPIResolveContext(t *testing.T) {
+	p := ScaleProfile(RestaurantProfile(), 0.3)
+	d, err := GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ResolveContext(context.Background(), d.K1, d.K2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Matches) == 0 {
+		t.Error("ResolveContext found no matches")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ResolveContext(ctx, d.K1, d.K2, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ResolveContext = %v, want context.Canceled", err)
 	}
 }
