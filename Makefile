@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same steps (see .github/workflows/ci.yml).
+
+SCALE ?= 0.5
+REPS  ?= 3
+
+.PHONY: build test race fmt vet bench bench-test smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+# bench emits BENCH_<date>.json with per-stage wall-clock timings for every
+# Table-1 preset — the perf trajectory data points the ROADMAP asks for.
+bench:
+	go run ./cmd/experiments -bench -scale $(SCALE) -reps $(REPS)
+
+# bench-test runs the Go benchmark suite (tables, figures, stages, ablations).
+bench-test:
+	go test -bench . -run '^$$' -benchmem .
+
+# smoke is the fast CI variant: one small preset, one repetition.
+smoke:
+	go test -run '^$$' -bench '^BenchmarkPipelineRestaurant$$' -benchtime 1x .
+	go run ./cmd/experiments -bench -datasets Restaurant -reps 1 -benchout /tmp/bench-smoke.json

@@ -202,8 +202,9 @@ func benchComponents() (*datagen.Dataset, graph.Input, *graph.Graph) {
 	}
 	eng := parallel.New(0)
 	in := graph.InputFor(eng, d.K1, d.K2, 2, 15, 3)
-	cap := int64(float64(d.K1.Len()) * float64(d.K2.Len()) * 0.0005)
-	in.TokenBlocks, _ = blocking.PurgeAbove(in.TokenBlocks, cap)
+	budget := blocking.ComparisonBudget(d.K1.Len(), d.K2.Len(), 0.0005)
+	in.TokenBlocks, _ = blocking.PurgeAbove(in.TokenBlocks, budget)
+	in.TokenIndex, _ = in.TokenIndex.PurgeAbove(budget)
 	g := graph.Build(eng, in)
 	return d, in, g
 }

@@ -8,6 +8,8 @@
 //	experiments -figure 2 -csv f2.csv # one figure, plus raw CSV points
 //	experiments -scale 0.2            # shrink datasets 5× for a quick run
 //	experiments -datasets Restaurant,YAGO-IMDb
+//	experiments -bench                # per-stage timings → BENCH_<date>.json
+//	experiments -bench -reps 5 -benchout perf.json
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"minoaner/internal/experiments"
 )
@@ -28,9 +31,12 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		datasets = flag.String("datasets", "", "comma-separated preset names (default: all four)")
 		csvPath  = flag.String("csv", "", "write Figure 2 points as CSV to this path")
+		bench    = flag.Bool("bench", false, "run the per-stage pipeline benchmark and write a BENCH JSON report")
+		reps     = flag.Int("reps", 3, "benchmark repetitions per dataset (with -bench)")
+		benchout = flag.String("benchout", "", "benchmark report path (default BENCH_<date>.json)")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && *figure == 0 {
+	if !*all && *table == 0 && *figure == 0 && !*bench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -44,6 +50,21 @@ func main() {
 		Datasets:    names,
 	})
 	exitOn(err)
+
+	if *bench {
+		report, err := suite.Bench(*reps)
+		exitOn(err)
+		path := *benchout
+		if path == "" {
+			path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		}
+		exitOn(report.WriteJSON(path))
+		fmt.Print(experiments.FormatBench(report))
+		fmt.Printf("(report written to %s)\n", path)
+		if !*all && *table == 0 && *figure == 0 {
+			return
+		}
+	}
 
 	run := func(id string, f func() error) {
 		fmt.Printf("==== %s ====\n", id)

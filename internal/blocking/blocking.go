@@ -7,7 +7,8 @@ package blocking
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"strings"
 
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
@@ -54,8 +55,9 @@ type sideID struct {
 // buildCollection groups keyed entity occurrences from both KBs into cross-KB
 // blocks. Blocks with entities from only one KB are dropped: they suggest no
 // clean-clean comparisons. Keys and members come out sorted. The grouping
-// pass runs under the dynamic chunked scheduler: per-entity key counts are
-// skewed (token counts follow a power law), so static spans would straggle.
+// pass runs under the dynamic chunked scheduler since per-entity key counts
+// can be skewed. Name blocking still goes through here (names are few and
+// inherently string-keyed); token blocking uses the columnar TokenIndex.
 func buildCollection(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int, yield func(string))) (*Collection, error) {
 	n1 := k1.Len()
 	total := n1 + k2.Len()
@@ -84,30 +86,26 @@ func buildCollection(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, emi
 		if len(b.E1) == 0 || len(b.E2) == 0 {
 			continue
 		}
-		sort.Slice(b.E1, func(a, c int) bool { return b.E1[a] < b.E1[c] })
-		sort.Slice(b.E2, func(a, c int) bool { return b.E2[a] < b.E2[c] })
+		slices.Sort(b.E1)
+		slices.Sort(b.E2)
 		blocks = append(blocks, b)
 	}
-	sort.Slice(blocks, func(a, c int) bool { return blocks[a].Key < blocks[c].Key })
+	slices.SortFunc(blocks, func(a, c Block) int { return strings.Compare(a.Key, c.Key) })
 	return &Collection{Blocks: blocks}, nil
 }
 
 // TokenBlocksCtx builds token blocking (§3.1, h_T): one block per token
 // shared by at least one entity of each KB. Because the per-KB side sizes
 // |b1|, |b2| equal the Entity Frequencies EF₁(t), EF₂(t), valueSim is
-// derivable from these blocks alone (Algorithm 1, line 14).
+// derivable from these blocks alone (Algorithm 1, line 14). It is a view
+// over the columnar TokenIndex — blocks are materialized from the CSR member
+// arrays instead of re-grouping entities under string keys.
 func TokenBlocksCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*Collection, error) {
-	return buildCollection(ctx, e, k1, k2,
-		func(i int, yield func(string)) {
-			for _, t := range k1.Entity(kb.EntityID(i)).Tokens() {
-				yield(t)
-			}
-		},
-		func(i int, yield func(string)) {
-			for _, t := range k2.Entity(kb.EntityID(i)).Tokens() {
-				yield(t)
-			}
-		})
+	ix, err := NewTokenIndexCtx(ctx, e, k1, k2)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Collection(), nil
 }
 
 // TokenBlocks is TokenBlocksCtx without cancellation.
@@ -159,6 +157,23 @@ func PurgeAbove(c *Collection, maxComparisons int64) (*Collection, int) {
 	return &Collection{Blocks: kept}, purged
 }
 
+// ComparisonBudget converts a Block Purging fraction into the absolute
+// comparison budget for a KB pair: fraction of the Cartesian product
+// |E1|·|E2|, at least 1. A non-positive fraction disables purging (budget
+// 0). It is the single place the threshold formula lives — the core
+// pipeline's per-block cap and AutoPurge's aggregate budget both derive
+// from it, so the two can't drift.
+func ComparisonBudget(n1, n2 int, fraction float64) int64 {
+	if fraction <= 0 {
+		return 0
+	}
+	budget := int64(float64(n1) * float64(n2) * fraction)
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // AutoPurge implements Block Purging in the spirit of [26] as used by the
 // paper (§3.3): it removes the largest blocks — those produced by highly
 // frequent, stop-word-like tokens — until the retained comparisons fit
@@ -168,12 +183,9 @@ func PurgeAbove(c *Collection, maxComparisons int64) (*Collection, int) {
 // blocks are always kept. Returns the kept collection, the purging threshold
 // actually applied (max comparisons per block), and the purged block count.
 func AutoPurge(c *Collection, n1, n2 int, budgetFraction float64) (*Collection, int64, int) {
-	if budgetFraction <= 0 || len(c.Blocks) == 0 {
+	budget := ComparisonBudget(n1, n2, budgetFraction)
+	if budget == 0 || len(c.Blocks) == 0 {
 		return c, 0, 0
-	}
-	budget := int64(float64(n1) * float64(n2) * budgetFraction)
-	if budget < 1 {
-		budget = 1
 	}
 	if c.TotalComparisons() <= budget {
 		return c, 0, 0
@@ -182,7 +194,7 @@ func AutoPurge(c *Collection, n1, n2 int, budgetFraction float64) (*Collection, 
 	for i := range c.Blocks {
 		sizes[i] = c.Blocks[i].Comparisons()
 	}
-	sort.Slice(sizes, func(a, b int) bool { return sizes[a] < sizes[b] })
+	slices.Sort(sizes)
 	var running int64
 	threshold := sizes[0]
 	for _, s := range sizes {

@@ -65,15 +65,29 @@ func contains(ids []kb.EntityID, id kb.EntityID) bool {
 // purged collection.
 func (ix *Index) CoOccur(keys []string, e1, e2 kb.EntityID) bool {
 	for _, key := range keys {
-		b := ix.byKey[key]
-		if b == nil {
-			continue
-		}
-		if contains(b.E1, e1) && contains(b.E2, e2) {
+		if ix.coOccurKey(key, e1, e2) {
 			return true
 		}
 	}
 	return false
+}
+
+// CoOccurTokens is CoOccur over a description's interned tokens: it walks
+// TokenIDs and resolves each key string from the dictionary (no per-call
+// slice materialization, unlike Description.Tokens).
+func (ix *Index) CoOccurTokens(d *kb.Description, e1, e2 kb.EntityID) bool {
+	dict := d.Dict()
+	for _, id := range d.TokenIDs() {
+		if ix.coOccurKey(dict.TokenString(id), e1, e2) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) coOccurKey(key string, e1, e2 kb.EntityID) bool {
+	b := ix.byKey[key]
+	return b != nil && contains(b.E1, e1) && contains(b.E2, e2)
 }
 
 // EvaluateBlocks computes Table 2's statistics for the name + token blocking
@@ -89,7 +103,7 @@ func EvaluateBlocks(k1, k2 *kb.KB, nameBlocks, tokenBlocks *Collection, gt *eval
 	}
 	nameIx, tokenIx := NewIndex(nameBlocks), NewIndex(tokenBlocks)
 	for _, p := range gt.Pairs() {
-		found := tokenIx.CoOccur(k1.Entity(p.E1).Tokens(), p.E1, p.E2)
+		found := tokenIx.CoOccurTokens(k1.Entity(p.E1), p.E1, p.E2)
 		if !found && nameKeysOf != nil {
 			found = nameIx.CoOccur(nameKeysOf(p.E1), p.E1, p.E2)
 		}

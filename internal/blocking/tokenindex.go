@@ -1,0 +1,317 @@
+package blocking
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"sync/atomic"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// TokenIndex is the columnar inverted token index behind token blocking and
+// the β (valueSim) stage of the disjunctive blocking graph. Where the old
+// path grouped entities under string keys and probed a map[string]*Block
+// once per (entity, token), the TokenIndex is CSR-shaped: flat []EntityID
+// member arrays addressed by dense token slots, with the per-token valueSim
+// weight 1/log2(EF₁·EF₂+1) precomputed once per index instead of once per
+// entity touch.
+//
+// The slot space is the joint token dictionary of the two KBs. When both KBs
+// share one kb.Interner (NewBuilderWithInterner), the KB token IDs ARE the
+// slots and translation is free; otherwise a per-KB translation table is
+// built once, with a single dictionary lookup per distinct token — never per
+// occurrence.
+//
+// A slot is "live" iff its weight is positive: tokens present in only one KB
+// (no cross-KB comparisons) and tokens removed by Block Purging are dead and
+// contribute nothing. Collection() materializes exactly the live slots as
+// key-sorted blocks, byte-identical to the historical TokenBlocks output.
+type TokenIndex struct {
+	dict *kb.Interner
+	// keys holds per-slot key strings when the index was built over a bare
+	// Collection (dict == nil). Exactly one of dict/keys is set.
+	keys []string
+	// t1/t2 translate KB-local token IDs to slots; nil means identity. A
+	// negative slot marks a token absent from the slot space (possible only
+	// in from-collection indexes, whose slots cover just the kept blocks).
+	t1, t2 []int32
+	// e1/e2 are the per-slot member lists (entities of each KB containing
+	// the token, sorted by ID). They alias flat CSR arrays or, in the
+	// from-collection case, the collection's own block slices.
+	e1, e2 [][]kb.EntityID
+	// weight[s] is the precomputed per-token valueSim contribution; 0 marks
+	// a dead slot.
+	weight []float64
+	// live counts slots with positive weight (== Collection().Len()).
+	live int
+}
+
+// NewTokenIndexCtx builds the token index for a KB pair with two counting
+// passes over the entities, both under the dynamic chunked scheduler
+// (per-entity token counts are power-law skewed, so static spans straggle):
+// first occurrence counts per token (the CSR offsets), then a scatter fill
+// of the flat member arrays. Member lists are sorted by entity ID, making
+// the result independent of worker count and scheduling.
+func NewTokenIndexCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*TokenIndex, error) {
+	ix := &TokenIndex{}
+	d1, d2 := k1.TokenDict(), k2.TokenDict()
+	if d1 != nil && d1 == d2 {
+		ix.dict = d1
+	} else {
+		// Disjoint dictionaries: merge into a joint space once, paying one
+		// string hash per DISTINCT token per KB rather than per occurrence.
+		joint := kb.NewInterner()
+		ix.t1 = mergeDict(d1, joint)
+		ix.t2 = mergeDict(d2, joint)
+		ix.dict = joint
+	}
+	n := ix.dict.Len()
+	ce := e.Chunked()
+	counts1 := make([]int32, n)
+	counts2 := make([]int32, n)
+	countSide := func(ctx context.Context, k *kb.KB, t []int32, counts []int32) error {
+		return ce.ForCtx(ctx, k.Len(), func(i int) error {
+			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+				s := slotOf(t, tid)
+				atomic.AddInt32(&counts[s], 1)
+			}
+			return nil
+		})
+	}
+	if err := countSide(ctx, k1, ix.t1, counts1); err != nil {
+		return nil, err
+	}
+	if err := countSide(ctx, k2, ix.t2, counts2); err != nil {
+		return nil, err
+	}
+	off1 := offsets(counts1)
+	off2 := offsets(counts2)
+	mem1 := make([]kb.EntityID, off1[n])
+	mem2 := make([]kb.EntityID, off2[n])
+	fillSide := func(ctx context.Context, k *kb.KB, t []int32, cur []int32, mem []kb.EntityID) error {
+		return ce.ForCtx(ctx, k.Len(), func(i int) error {
+			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+				s := slotOf(t, tid)
+				mem[atomic.AddInt32(&cur[s], 1)-1] = kb.EntityID(i)
+			}
+			return nil
+		})
+	}
+	// The fill pass reuses the offset arrays as atomic write cursors.
+	cur1 := slices.Clone(off1[:n])
+	cur2 := slices.Clone(off2[:n])
+	if err := fillSide(ctx, k1, ix.t1, cur1, mem1); err != nil {
+		return nil, err
+	}
+	if err := fillSide(ctx, k2, ix.t2, cur2, mem2); err != nil {
+		return nil, err
+	}
+	ix.e1 = make([][]kb.EntityID, n)
+	ix.e2 = make([][]kb.EntityID, n)
+	ix.weight = make([]float64, n)
+	// Restore determinism after the scatter fill: concurrent chunks write a
+	// token's members in claim order, so each member list is sorted by ID.
+	err := ce.ForCtx(ctx, n, func(s int) error {
+		m1 := mem1[off1[s]:off1[s+1]]
+		m2 := mem2[off2[s]:off2[s+1]]
+		slices.Sort(m1)
+		slices.Sort(m2)
+		ix.e1[s], ix.e2[s] = m1, m2
+		if len(m1) > 0 && len(m2) > 0 {
+			ix.weight[s] = stats.TokenWeight(len(m1), len(m2))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Tally live slots outside the parallel pass (a shared counter inside it
+	// would race).
+	for _, w := range ix.weight {
+		if w > 0 {
+			ix.live++
+		}
+	}
+	return ix, nil
+}
+
+// NewTokenIndex is NewTokenIndexCtx without cancellation.
+func NewTokenIndex(e *parallel.Engine, k1, k2 *kb.KB) *TokenIndex {
+	ix, _ := NewTokenIndexCtx(context.Background(), e, k1, k2)
+	return ix
+}
+
+// mergeDict interns every token of src into joint and returns the
+// src-ID → joint-slot translation table.
+func mergeDict(src *kb.Interner, joint *kb.Interner) []int32 {
+	if src == nil {
+		return []int32{}
+	}
+	n := src.Len()
+	t := make([]int32, n)
+	for id := 0; id < n; id++ {
+		t[id] = int32(joint.Intern(src.TokenString(kb.TokenID(id))))
+	}
+	return t
+}
+
+// slotOf maps a KB-local token ID through an optional translation table.
+func slotOf(t []int32, tid kb.TokenID) int32 {
+	if t == nil {
+		return int32(tid)
+	}
+	return t[tid]
+}
+
+// offsets turns per-slot counts into CSR offsets (len(counts)+1 entries).
+func offsets(counts []int32) []int32 {
+	off := make([]int32, len(counts)+1)
+	var sum int32
+	for s, c := range counts {
+		off[s] = sum
+		sum += c
+	}
+	off[len(counts)] = sum
+	return off
+}
+
+// IndexFromCollection builds a TokenIndex view over an existing (typically
+// purged) block collection: slots are block positions, member lists alias
+// the blocks, and the translation tables are filled with one dictionary
+// lookup per distinct token of each KB. This is the compatibility path for
+// callers that assemble a graph input from a bare Collection; the pipeline
+// threads the purged index itself.
+func IndexFromCollection(c *Collection, k1, k2 *kb.KB) *TokenIndex {
+	n := len(c.Blocks)
+	ix := &TokenIndex{
+		keys:   make([]string, n),
+		e1:     make([][]kb.EntityID, n),
+		e2:     make([][]kb.EntityID, n),
+		weight: make([]float64, n),
+		live:   n,
+	}
+	byKey := make(map[string]int32, n)
+	for s := range c.Blocks {
+		b := &c.Blocks[s]
+		ix.keys[s] = b.Key
+		ix.e1[s], ix.e2[s] = b.E1, b.E2
+		ix.weight[s] = stats.TokenWeight(len(b.E1), len(b.E2))
+		byKey[b.Key] = int32(s)
+	}
+	ix.t1 = translateByKey(k1.TokenDict(), byKey)
+	ix.t2 = translateByKey(k2.TokenDict(), byKey)
+	return ix
+}
+
+// translateByKey maps every token of dict to its block slot, -1 if absent.
+func translateByKey(dict *kb.Interner, byKey map[string]int32) []int32 {
+	if dict == nil {
+		return []int32{}
+	}
+	n := dict.Len()
+	t := make([]int32, n)
+	for id := 0; id < n; id++ {
+		if s, ok := byKey[dict.TokenString(kb.TokenID(id))]; ok {
+			t[id] = s
+		} else {
+			t[id] = -1
+		}
+	}
+	return t
+}
+
+// Live returns the number of live token slots — the block count Collection
+// would materialize. Graph construction uses it (together with
+// TotalComparisons) as a cheap consistency check between a caller-supplied
+// index and collection.
+func (ix *TokenIndex) Live() int { return ix.live }
+
+// TotalComparisons returns ‖B‖ over the live slots: the aggregate cross-KB
+// comparison count Collection() would report.
+func (ix *TokenIndex) TotalComparisons() int64 {
+	var total int64
+	for s, w := range ix.weight {
+		if w > 0 {
+			total += int64(len(ix.e1[s])) * int64(len(ix.e2[s]))
+		}
+	}
+	return total
+}
+
+// key returns the block key of a slot.
+func (ix *TokenIndex) key(s int32) string {
+	if ix.dict != nil {
+		return ix.dict.TokenString(kb.TokenID(s))
+	}
+	return ix.keys[s]
+}
+
+// ForEachShared walks the live tokens of one description in token-string
+// order — the same order the historical string-keyed path used, so
+// downstream floating-point accumulation stays bit-identical — calling f
+// with the precomputed token weight and the members of the OTHER KB. fromE1
+// states which side d belongs to.
+func (ix *TokenIndex) ForEachShared(d *kb.Description, fromE1 bool, f func(w float64, others []kb.EntityID)) {
+	t, others := ix.t1, ix.e2
+	if !fromE1 {
+		t, others = ix.t2, ix.e1
+	}
+	for _, tid := range d.TokenIDs() {
+		s := slotOf(t, tid)
+		if s < 0 {
+			continue
+		}
+		if w := ix.weight[s]; w > 0 {
+			f(w, others[s])
+		}
+	}
+}
+
+// Collection materializes the live slots as a block collection sorted by
+// key, with member lists aliasing the index (callers must treat blocks as
+// read-only, as they always had to). The result is byte-identical to the
+// historical TokenBlocks output for the same purge state.
+func (ix *TokenIndex) Collection() *Collection {
+	liveSlots := make([]int32, 0, ix.live)
+	for s, w := range ix.weight {
+		if w > 0 {
+			liveSlots = append(liveSlots, int32(s))
+		}
+	}
+	slices.SortFunc(liveSlots, func(a, b int32) int {
+		return strings.Compare(ix.key(a), ix.key(b))
+	})
+	blocks := make([]Block, len(liveSlots))
+	for i, s := range liveSlots {
+		blocks[i] = Block{Key: ix.key(s), E1: ix.e1[s], E2: ix.e2[s]}
+	}
+	return &Collection{Blocks: blocks}
+}
+
+// PurgeAbove returns a view of the index with every live token whose
+// comparison count |b1|·|b2| exceeds maxComparisons marked dead, plus the
+// number of purged tokens — Block Purging (§3.3) applied directly to the
+// columnar index, with the same predicate as PurgeAbove on a Collection. A
+// non-positive threshold keeps everything. The receiver is unchanged.
+func (ix *TokenIndex) PurgeAbove(maxComparisons int64) (*TokenIndex, int) {
+	if maxComparisons <= 0 {
+		return ix, 0
+	}
+	out := *ix
+	out.weight = slices.Clone(ix.weight)
+	purged := 0
+	for s, w := range out.weight {
+		if w == 0 {
+			continue
+		}
+		if int64(len(ix.e1[s]))*int64(len(ix.e2[s])) > maxComparisons {
+			out.weight[s] = 0
+			out.live--
+			purged++
+		}
+	}
+	return &out, purged
+}

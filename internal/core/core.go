@@ -209,10 +209,13 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 	}
 	out.Timings.Statistics = time.Since(t0)
 
-	// Stage 2 — composite blocking: name blocking ∥ token blocking, then
-	// Block Purging of stop-word token blocks.
+	// Stage 2 — composite blocking: name blocking ∥ columnar token indexing
+	// (the shared-interner token space flows from the KB builders through
+	// the index into graph construction), then Block Purging of stop-word
+	// token blocks applied to the index.
 	t0 = time.Now()
-	var nameBlocks, tokenBlocks *blocking.Collection
+	var nameBlocks *blocking.Collection
+	var tokenIx *blocking.TokenIndex
 	err = eng.ConcurrentCtx(ctx,
 		func(sc context.Context) error {
 			var err error
@@ -221,21 +224,19 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 		},
 		func(sc context.Context) error {
 			var err error
-			tokenBlocks, err = blocking.TokenBlocksCtx(sc, eng, k1, k2)
+			tokenIx, err = blocking.NewTokenIndexCtx(sc, eng, k1, k2)
 			return err
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MaxBlockFraction > 0 {
-		cap := int64(float64(k1.Len()) * float64(k2.Len()) * cfg.MaxBlockFraction)
-		if cap < 1 {
-			cap = 1
-		}
-		out.PurgeThreshold = cap
-		tokenBlocks, out.PurgedBlocks = blocking.PurgeAbove(tokenBlocks, cap)
+	// One formula for the purging threshold, shared with blocking.AutoPurge.
+	if budget := blocking.ComparisonBudget(k1.Len(), k2.Len(), cfg.MaxBlockFraction); budget > 0 {
+		out.PurgeThreshold = budget
+		tokenIx, out.PurgedBlocks = tokenIx.PurgeAbove(budget)
 	}
+	tokenBlocks := tokenIx.Collection()
 	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
 	out.Timings.Blocking = time.Since(t0)
 
@@ -245,6 +246,7 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
 		TokenBlocks: tokenBlocks,
+		TokenIndex:  tokenIx,
 		Top1:        top1,
 		Top2:        top2,
 		K:           cfg.TopK,

@@ -231,11 +231,15 @@ func Generate(p Profile) (*Dataset, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Both KBs of the pair intern into one shared token dictionary, so the
+	// resolution pipeline's TokenIndex gets the identity token space and
+	// skips its cross-dictionary translation.
+	dict := kb.NewInterner()
 	g := &generator{
 		p:         p,
 		rng:       rand.New(rand.NewSource(p.Seed)),
-		b1:        kb.NewBuilder(p.Name + "-E1"),
-		b2:        kb.NewBuilder(p.Name + "-E2"),
+		b1:        kb.NewBuilderWithInterner(p.Name+"-E1", dict),
+		b2:        kb.NewBuilderWithInterner(p.Name+"-E2", dict),
 		usedNames: make(map[string]bool),
 	}
 	g.perm1 = g.rng.Perm(p.E1Size)

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"minoaner/internal/core"
+	"minoaner/internal/eval"
+)
+
+// BenchResult is the per-stage wall-clock record of one dataset's pipeline
+// run — the data points behind the ROADMAP's performance trajectory. Times
+// are the fastest of Runs repetitions, reported per Figure 4 stage.
+type BenchResult struct {
+	Dataset string `json:"dataset"`
+	E1Size  int    `json:"e1_size"`
+	E2Size  int    `json:"e2_size"`
+	Workers int    `json:"workers"`
+	Runs    int    `json:"runs"`
+	// Stage timings in milliseconds (best of Runs, per stage independently).
+	StatisticsMS float64 `json:"statistics_ms"`
+	BlockingMS   float64 `json:"blocking_ms"`
+	GraphMS      float64 `json:"graph_ms"`
+	MatchingMS   float64 `json:"matching_ms"`
+	TotalMS      float64 `json:"total_ms"`
+	// Effectiveness, so a perf data point can't silently trade away quality.
+	Matches int     `json:"matches"`
+	F1      float64 `json:"f1"`
+}
+
+// BenchReport is the JSON document `cmd/experiments -bench` emits
+// (BENCH_<date>.json): one BenchResult per dataset plus run metadata.
+type BenchReport struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      float64       `json:"scale"`
+	Results    []BenchResult `json:"results"`
+}
+
+// Bench runs the full pipeline reps times on every suite dataset and
+// collects per-stage timings (fastest repetition per stage) plus F1 against
+// the generated ground truth.
+func (s *Suite) Bench(reps int) (*BenchReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	report := &BenchReport{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      s.opts.ScaleFactor,
+	}
+	for _, name := range s.Names() {
+		d, err := s.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Workers = s.opts.Workers
+		r := BenchResult{
+			Dataset: name,
+			E1Size:  d.K1.Len(),
+			E2Size:  d.K2.Len(),
+			Workers: runtime.GOMAXPROCS(0),
+			Runs:    reps,
+		}
+		if s.opts.Workers > 0 {
+			r.Workers = s.opts.Workers
+		}
+		best := core.Timings{}
+		for i := 0; i < reps; i++ {
+			out, err := core.Resolve(d.K1, d.K2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t := out.Timings
+			if i == 0 || t.Statistics < best.Statistics {
+				best.Statistics = t.Statistics
+			}
+			if i == 0 || t.Blocking < best.Blocking {
+				best.Blocking = t.Blocking
+			}
+			if i == 0 || t.Graph < best.Graph {
+				best.Graph = t.Graph
+			}
+			if i == 0 || t.Matching < best.Matching {
+				best.Matching = t.Matching
+			}
+			if i == 0 || t.Total < best.Total {
+				best.Total = t.Total
+			}
+			if i == 0 {
+				r.Matches = len(out.Matches)
+				pairs := make([]eval.Pair, len(out.Matches))
+				for j, m := range out.Matches {
+					pairs[j] = m.Pair
+				}
+				r.F1 = eval.Evaluate(pairs, d.GT).F1
+			}
+		}
+		ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+		r.StatisticsMS = ms(best.Statistics)
+		r.BlockingMS = ms(best.Blocking)
+		r.GraphMS = ms(best.Graph)
+		r.MatchingMS = ms(best.Matching)
+		r.TotalMS = ms(best.Total)
+		report.Results = append(report.Results, r)
+	}
+	return report, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatBench renders the report as an aligned text table.
+func FormatBench(r *BenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipeline stage timings (ms, best of %s; %s, GOMAXPROCS=%d, scale=%g)\n",
+		plural(r.Results), r.GoVersion, r.GOMAXPROCS, r.Scale)
+	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %9s %7s\n",
+		"dataset", "stats", "blocking", "graph", "matching", "total", "matches", "F1")
+	for _, x := range r.Results {
+		fmt.Fprintf(&sb, "%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %9d %7.3f\n",
+			x.Dataset, x.StatisticsMS, x.BlockingMS, x.GraphMS, x.MatchingMS, x.TotalMS, x.Matches, x.F1)
+	}
+	return sb.String()
+}
+
+func plural(rs []BenchResult) string {
+	if len(rs) > 0 && rs[0].Runs == 1 {
+		return "1 run"
+	}
+	if len(rs) > 0 {
+		return fmt.Sprintf("%d runs", rs[0].Runs)
+	}
+	return "0 runs"
+}

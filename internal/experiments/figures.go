@@ -66,21 +66,28 @@ func (s *Suite) Figure2() ([]Figure2Point, error) {
 }
 
 // weightedJaccard is the normalized value similarity of Figure 2 [21]:
-// Σ_{t ∈ ∩} w(t) / Σ_{t ∈ ∪} w(t) with w(t) = 1/log2(EF1·EF2+1).
+// Σ_{t ∈ ∩} w(t) / Σ_{t ∈ ∪} w(t) with w(t) = 1/log2(EF1·EF2+1). It walks
+// the interned token IDs (ordered by token string) so nothing is
+// re-materialized or re-hashed per pair.
 func weightedJaccard(a, b *kb.Description, ef1, ef2 *stats.EFIndex) float64 {
-	ta, tb := a.Tokens(), b.Tokens()
+	ta, tb := a.TokenIDs(), b.TokenIDs()
+	d1, d2 := a.Dict(), b.Dict()
+	weigh := func(dict *kb.Interner, id kb.TokenID, s string) float64 {
+		return stats.TokenWeight(stats.EFOf(ef1, dict, id, s), stats.EFOf(ef2, dict, id, s))
+	}
 	var inter, union float64
 	i, j := 0, 0
 	for i < len(ta) && j < len(tb) {
+		sa, sb := d1.TokenString(ta[i]), d2.TokenString(tb[j])
 		switch {
-		case ta[i] < tb[j]:
-			union += stats.TokenWeight(ef1.EF(ta[i]), ef2.EF(ta[i]))
+		case sa < sb:
+			union += weigh(d1, ta[i], sa)
 			i++
-		case ta[i] > tb[j]:
-			union += stats.TokenWeight(ef1.EF(tb[j]), ef2.EF(tb[j]))
+		case sa > sb:
+			union += weigh(d2, tb[j], sb)
 			j++
 		default:
-			w := stats.TokenWeight(ef1.EF(ta[i]), ef2.EF(ta[i]))
+			w := weigh(d1, ta[i], sa)
 			inter += w
 			union += w
 			i++
@@ -88,10 +95,10 @@ func weightedJaccard(a, b *kb.Description, ef1, ef2 *stats.EFIndex) float64 {
 		}
 	}
 	for ; i < len(ta); i++ {
-		union += stats.TokenWeight(ef1.EF(ta[i]), ef2.EF(ta[i]))
+		union += weigh(d1, ta[i], d1.TokenString(ta[i]))
 	}
 	for ; j < len(tb); j++ {
-		union += stats.TokenWeight(ef1.EF(tb[j]), ef2.EF(tb[j]))
+		union += weigh(d2, tb[j], d2.TokenString(tb[j]))
 	}
 	if union == 0 {
 		return 0

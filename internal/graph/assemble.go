@@ -13,8 +13,11 @@ import (
 // the upstream statistics and blocking stages with the given parameters:
 // nameK name attributes per KB (paper parameter k), topK candidates per node
 // per weight (K), and relN top relations per entity (N). Token blocks are
-// not purged here; callers that need Block Purging apply it to
-// Input.TokenBlocks before Build (the core pipeline does).
+// not purged here; callers that need Block Purging apply it to both
+// Input.TokenBlocks (blocking.PurgeAbove) and Input.TokenIndex
+// (TokenIndex.PurgeAbove) before Build, as the core pipeline does. If only
+// the collection is purged, BuildCtx notices the mismatch and derives a
+// consistent index view from the collection.
 func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
 	in, _ := InputForCtx(context.Background(), e, k1, k2, nameK, topK, relN)
 	return in
@@ -24,9 +27,10 @@ func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
 // through every upstream stage.
 func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) (Input, error) {
 	var (
-		n1, n2                  []string
-		ord1, ord2              map[string]int
-		nameBlocks, tokenBlocks *blocking.Collection
+		n1, n2     []string
+		ord1, ord2 map[string]int
+		nameBlocks *blocking.Collection
+		tokenIx    *blocking.TokenIndex
 	)
 	// Name discovery, relation statistics and token blocking are mutually
 	// independent — run them concurrently as in Figure 4.
@@ -53,7 +57,7 @@ func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, 
 		},
 		func(sc context.Context) error {
 			var err error
-			tokenBlocks, err = blocking.TokenBlocksCtx(sc, e, k1, k2)
+			tokenIx, err = blocking.NewTokenIndexCtx(sc, e, k1, k2)
 			return err
 		},
 	)
@@ -74,7 +78,8 @@ func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, 
 	return Input{
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
-		TokenBlocks: tokenBlocks,
+		TokenBlocks: tokenIx.Collection(),
+		TokenIndex:  tokenIx,
 		Top1:        top1,
 		Top2:        top2,
 		K:           topK,

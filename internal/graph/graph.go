@@ -16,8 +16,9 @@
 package graph
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/kb"
@@ -49,6 +50,13 @@ type Input struct {
 	K1, K2 *kb.KB
 	// NameBlocks and TokenBlocks are the (purged) block collections of §3.1.
 	NameBlocks, TokenBlocks *blocking.Collection
+	// TokenIndex is the columnar token index the β stage walks. Optional: it
+	// should describe the same purged block set as TokenBlocks (the pipeline
+	// and InputForCtx thread it through). When absent, BuildCtx derives an
+	// index view from TokenBlocks; when the two disagree, the more-purged
+	// side wins (see BuildCtx), so purging either view alone still takes
+	// effect.
+	TokenIndex *blocking.TokenIndex
 	// Top1/Top2 are the per-entity top-neighbor lists of each KB
 	// (stats.TopNeighbors); Algorithm 1 derives the in-neighbor index from
 	// them internally (procedure getTopInNeighbors).
@@ -70,6 +78,22 @@ func BuildCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, error)
 		Alpha2: make([][]kb.EntityID, in.K2.Len()),
 	}
 	ce := e.Chunked()
+	// Both β directions walk one shared token index with per-token weights
+	// precomputed once. When the caller-supplied index and TokenBlocks
+	// disagree (a caller purged only one of the two views), the more-purged
+	// side wins so Block Purging is never silently discarded: an index with
+	// MORE live blocks than the collection means only the collection was
+	// purged (the pre-index idiom) and a consistent index is derived from
+	// it; an index with FEWER live blocks means only the index was purged
+	// and it is honored as-is. Ties with diverging aggregate comparisons
+	// fall back to the collection, the documented source of truth.
+	ix := in.TokenIndex
+	switch {
+	case ix == nil,
+		ix.Live() > in.TokenBlocks.Len(),
+		ix.Live() == in.TokenBlocks.Len() && ix.TotalComparisons() != in.TokenBlocks.TotalComparisons():
+		ix = blocking.IndexFromCollection(in.TokenBlocks, in.K1, in.K2)
+	}
 	var beta1, beta2 [][]Edge
 	// Name evidence and the two directions of value evidence are mutually
 	// independent (Figure 4 runs them concurrently).
@@ -77,12 +101,12 @@ func BuildCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, error)
 		func(context.Context) error { g.buildAlpha(in); return nil },
 		func(sc context.Context) error {
 			var err error
-			beta1, err = buildBeta(sc, ce, in.TokenBlocks, in.K1, true, in.K)
+			beta1, err = buildBeta(sc, ce, ix, in.K1, true, in.K)
 			return err
 		},
 		func(sc context.Context) error {
 			var err error
-			beta2, err = buildBeta(sc, ce, in.TokenBlocks, in.K2, false, in.K)
+			beta2, err = buildBeta(sc, ce, ix, in.K2, false, in.K)
 			return err
 		},
 	)
@@ -131,35 +155,27 @@ func appendUnique(xs []kb.EntityID, x kb.EntityID) []kb.EntityID {
 }
 
 func sortIDs(xs []kb.EntityID) {
-	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	slices.Sort(xs)
 }
 
 // buildBeta computes, for every entity of one side, its top-K candidates by
 // valueSim (Algorithm 1, lines 10–19). The per-token contribution is
 // 1/log2(|b1|·|b2|+1): since token-block side sizes equal the per-KB entity
-// frequencies, summing over shared blocks yields exactly Def. 2.1.
-func buildBeta(ctx context.Context, e *parallel.Engine, tokens *blocking.Collection, from *kb.KB, fromIsE1 bool, k int) ([][]Edge, error) {
-	ix := blocking.NewIndex(tokens)
+// frequencies, summing over shared blocks yields exactly Def. 2.1. The walk
+// is purely columnar — token IDs into CSR member arrays with weights
+// precomputed once per index — with no string hashing per (entity, token).
+func buildBeta(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int) ([][]Edge, error) {
 	return parallel.MapCtx(ctx, e, from.Len(), func(i int) ([]Edge, error) {
 		d := from.Entity(kb.EntityID(i))
 		var acc map[kb.EntityID]float64
-		for _, t := range d.Tokens() {
-			b := ix.Lookup(t)
-			if b == nil {
-				continue
-			}
-			w := stats.TokenWeight(len(b.E1), len(b.E2))
-			others := b.E2
-			if !fromIsE1 {
-				others = b.E1
-			}
+		ix.ForEachShared(d, fromIsE1, func(w float64, others []kb.EntityID) {
 			if acc == nil {
 				acc = make(map[kb.EntityID]float64, len(others))
 			}
 			for _, o := range others {
 				acc[o] += w
 			}
-		}
+		})
 		return topK(acc, k), nil
 	})
 }
@@ -177,11 +193,11 @@ func topK(acc map[kb.EntityID]float64, k int) []Edge {
 			edges = append(edges, Edge{to, w})
 		}
 	}
-	sort.Slice(edges, func(a, b int) bool {
-		if edges[a].Weight != edges[b].Weight {
-			return edges[a].Weight > edges[b].Weight
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.Weight != b.Weight {
+			return cmp.Compare(b.Weight, a.Weight)
 		}
-		return edges[a].To < edges[b].To
+		return cmp.Compare(a.To, b.To)
 	})
 	if len(edges) > k {
 		edges = edges[:k]
@@ -269,7 +285,7 @@ func mergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
 		if len(out[x]) < 2 {
 			continue
 		}
-		sort.Slice(out[x], func(a, b int) bool { return out[x][a].To < out[x][b].To })
+		slices.SortFunc(out[x], func(a, b Edge) int { return cmp.Compare(a.To, b.To) })
 		dst := out[x][:1]
 		for _, edge := range out[x][1:] {
 			if edge.To != dst[len(dst)-1].To {

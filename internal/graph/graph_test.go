@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"minoaner/internal/blocking"
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
 	"minoaner/internal/stats"
@@ -257,5 +258,36 @@ func TestNoSharedTokens(t *testing.T) {
 	g := Build(seq, InputFor(seq, k1, k2, 1, 5, 2))
 	if g.Edges() != 0 {
 		t.Errorf("disjoint KBs produced %d edges", g.Edges())
+	}
+}
+
+// Block Purging must take effect no matter which of the two token views a
+// caller purges: both one-sided purges must match the fully consistent
+// reference, per BuildCtx's "more-purged side wins" rule.
+func TestBuildHonorsOneSidedPurging(t *testing.T) {
+	w, d := testkb.Figure1()
+	const threshold = 1 // keep only 1×1 token blocks
+	ref := InputFor(seq, w, d, 2, 15, 2)
+	ref.TokenBlocks, _ = blocking.PurgeAbove(ref.TokenBlocks, threshold)
+	ref.TokenIndex, _ = ref.TokenIndex.PurgeAbove(threshold)
+	want := Build(seq, ref)
+
+	indexOnly := InputFor(seq, w, d, 2, 15, 2)
+	indexOnly.TokenIndex, _ = indexOnly.TokenIndex.PurgeAbove(threshold)
+	if g := Build(seq, indexOnly); !reflect.DeepEqual(g.Beta1, want.Beta1) || !reflect.DeepEqual(g.Beta2, want.Beta2) {
+		t.Error("index-only purge was not honored")
+	}
+
+	collectionOnly := InputFor(seq, w, d, 2, 15, 2)
+	collectionOnly.TokenBlocks, _ = blocking.PurgeAbove(collectionOnly.TokenBlocks, threshold)
+	if g := Build(seq, collectionOnly); !reflect.DeepEqual(g.Beta1, want.Beta1) || !reflect.DeepEqual(g.Beta2, want.Beta2) {
+		t.Error("collection-only purge was not honored")
+	}
+
+	// Sanity: purging at this threshold actually removed something, so the
+	// comparisons above are not vacuous.
+	unpurged := Build(seq, InputFor(seq, w, d, 2, 15, 2))
+	if reflect.DeepEqual(unpurged.Beta1, want.Beta1) {
+		t.Error("threshold removed nothing; test is vacuous")
 	}
 }

@@ -12,7 +12,8 @@ package kb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // EntityID indexes a description inside one KB. IDs are dense, starting at 0,
@@ -38,25 +39,51 @@ type Relation struct {
 // Description is a single entity description: a URI plus its literal
 // attributes and its relations. Token sets are precomputed at build time
 // because every MinoanER stage (EF statistics, token blocking, valueSim)
-// consumes the same schema-agnostic bag of tokens.
+// consumes the same schema-agnostic bag of tokens; they are stored once as
+// dense TokenIDs into the KB's Interner, so the hot stages never re-hash
+// token strings.
 type Description struct {
 	URI       string
 	Attrs     []AttributeValue
 	Relations []Relation
 
-	// tokens is the sorted set of distinct tokens appearing in any literal
-	// value of this description.
-	tokens []string
+	// tokens is the set of distinct tokens appearing in any literal value of
+	// this description, ordered by token STRING (not by numeric ID) — the
+	// iteration order every accumulation stage relies on for bit-identical
+	// floating-point sums.
+	tokens []TokenID
+	// dict is the interner the token IDs refer to (shared with the KB).
+	dict *Interner
 }
 
+// TokenIDs returns the description's distinct tokens as dense IDs into
+// Dict(), ordered by token string. The slice is shared; callers must not
+// modify it.
+func (d *Description) TokenIDs() []TokenID { return d.tokens }
+
+// Dict returns the token dictionary the description's TokenIDs refer to.
+func (d *Description) Dict() *Interner { return d.dict }
+
 // Tokens returns the distinct tokens of the description in sorted order.
-// The returned slice is shared; callers must not modify it.
-func (d *Description) Tokens() []string { return d.tokens }
+// It is a compatibility view over TokenIDs: the slice is materialized on
+// every call, so hot paths should walk TokenIDs instead.
+func (d *Description) Tokens() []string {
+	if len(d.tokens) == 0 {
+		return nil
+	}
+	out := make([]string, len(d.tokens))
+	for i, id := range d.tokens {
+		out[i] = d.dict.TokenString(id)
+	}
+	return out
+}
 
 // HasToken reports whether t is one of the description's tokens.
 func (d *Description) HasToken(t string) bool {
-	i := sort.SearchStrings(d.tokens, t)
-	return i < len(d.tokens) && d.tokens[i] == t
+	_, found := slices.BinarySearchFunc(d.tokens, t, func(id TokenID, s string) int {
+		return strings.Compare(d.dict.TokenString(id), s)
+	})
+	return found
 }
 
 // Values returns the literal values of attribute attr, in insertion order.
@@ -76,11 +103,18 @@ type KB struct {
 	name     string
 	entities []Description
 	byURI    map[string]EntityID
+	dict     *Interner
 	triples  int
 }
 
 // Name returns the KB's display name.
 func (k *KB) Name() string { return k.name }
+
+// TokenDict returns the token dictionary all of the KB's descriptions are
+// interned into. Two KBs built with NewBuilderWithInterner and the same
+// Interner return the same dictionary, which lets the blocking TokenIndex
+// skip its token-space translation.
+func (k *KB) TokenDict() *Interner { return k.dict }
 
 // Len returns the number of entity descriptions.
 func (k *KB) Len() int { return len(k.entities) }
@@ -178,6 +212,7 @@ type Builder struct {
 	name     string
 	entities []Description
 	byURI    map[string]EntityID
+	dict     *Interner
 	// pending holds raw (subject, predicate, object) statements whose object
 	// may turn out to be an entity URI.
 	pending []rawTriple
@@ -193,11 +228,24 @@ type rawTriple struct {
 	objectIsURI bool
 }
 
-// NewBuilder returns a Builder for a KB with the given display name.
+// NewBuilder returns a Builder for a KB with the given display name and its
+// own private token dictionary.
 func NewBuilder(name string) *Builder {
+	return NewBuilderWithInterner(name, NewInterner())
+}
+
+// NewBuilderWithInterner returns a Builder whose KB interns tokens into the
+// given shared dictionary. Building both KBs of an ER pair over one Interner
+// puts them in the same token-ID space, which the blocking TokenIndex
+// exploits to skip per-token string work entirely.
+func NewBuilderWithInterner(name string, dict *Interner) *Builder {
+	if dict == nil {
+		dict = NewInterner()
+	}
 	return &Builder{
 		name:  name,
 		byURI: make(map[string]EntityID),
+		dict:  dict,
 		tok:   NewTokenizer(),
 	}
 }
@@ -246,9 +294,12 @@ func (b *Builder) Build() *KB {
 		triples++
 	}
 	for i := range b.entities {
-		b.entities[i].tokens = b.tok.TokenSet(&b.entities[i])
+		// TokenSet yields sorted strings; interning preserves that order, so
+		// TokenIDs stay string-ordered (the invariant Description documents).
+		b.entities[i].tokens = b.dict.InternAll(b.tok.TokenSet(&b.entities[i]))
+		b.entities[i].dict = b.dict
 	}
-	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, triples: triples}
+	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, dict: b.dict, triples: triples}
 	b.entities = nil
 	b.byURI = nil
 	b.pending = nil

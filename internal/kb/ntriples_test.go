@@ -171,6 +171,71 @@ func TestLoadTSV(t *testing.T) {
 	}
 }
 
+// TestLoadTSVNTriplesRoundTrip covers the full loader chain: a KB loaded
+// from TSV, serialized as N-Triples and loaded back must preserve every
+// entity, every relation and every token set.
+func TestLoadTSVNTriplesRoundTrip(t *testing.T) {
+	src := "a\tname\tAlpha One\n" +
+		"a\tlinks\tb\n" +
+		"a\tyear\t1999\n" +
+		"b\tname\tBeta \"quoted\" Two\n" +
+		"b\tlinks\tc\n" +
+		"c\tname\tGamma\n" +
+		"c\tsees\tmissing-target\n" // unresolved object URI → literal
+	k1, skipped, err := LoadTSV("src", strings.NewReader(src), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("LoadTSV skipped %d rows", skipped)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, k1); err != nil {
+		t.Fatal(err)
+	}
+	k2, skipped, err := LoadNTriples("roundtrip", &buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("LoadNTriples skipped %d lines", skipped)
+	}
+	if k1.Len() != k2.Len() || k1.Triples() != k2.Triples() {
+		t.Fatalf("round trip changed size: %v vs %v", k1, k2)
+	}
+	for id := 0; id < k1.Len(); id++ {
+		d1 := k1.Entity(EntityID(id))
+		id2 := k2.Lookup(d1.URI)
+		if id2 == NoEntity {
+			t.Fatalf("entity %s lost in round trip", d1.URI)
+		}
+		d2 := k2.Entity(id2)
+		if !reflect.DeepEqual(d1.Attrs, d2.Attrs) {
+			t.Errorf("entity %s attrs differ: %v vs %v", d1.URI, d1.Attrs, d2.Attrs)
+		}
+		if !reflect.DeepEqual(d1.Tokens(), d2.Tokens()) {
+			t.Errorf("entity %s tokens differ: %v vs %v", d1.URI, d1.Tokens(), d2.Tokens())
+		}
+		// Relations must point at the same URIs on both sides.
+		r1 := make([]string, 0, len(d1.Relations))
+		for _, r := range d1.Relations {
+			r1 = append(r1, r.Predicate+"→"+k1.Entity(r.Object).URI)
+		}
+		r2 := make([]string, 0, len(d2.Relations))
+		for _, r := range d2.Relations {
+			r2 = append(r2, r.Predicate+"→"+k2.Entity(r.Object).URI)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("entity %s relations differ: %v vs %v", d1.URI, r1, r2)
+		}
+	}
+	// The unresolved URI must have stayed a literal on both sides.
+	c := k1.Entity(k1.Lookup("c"))
+	if len(c.Relations) != 0 || len(c.Values("sees")) != 1 {
+		t.Errorf("unresolved object should remain a literal: %+v", c)
+	}
+}
+
 func TestLoadTSVLiteralObjects(t *testing.T) {
 	src := "e1\tlabel\te2\ne2\tlabel\tGamma\n"
 	k, _, err := LoadTSV("X", strings.NewReader(src), false)

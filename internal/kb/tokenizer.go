@@ -1,7 +1,7 @@
 package kb
 
 import (
-	"sort"
+	"slices"
 	"strings"
 	"unicode"
 )
@@ -62,7 +62,7 @@ func (t *Tokenizer) TokenSet(d *Description) []string {
 	for tok := range set {
 		out = append(out, tok)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -79,7 +79,7 @@ func (t *Tokenizer) TokenSetOf(values ...string) []string {
 	for tok := range set {
 		out = append(out, tok)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -1,8 +1,9 @@
 package stats
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
@@ -79,11 +80,11 @@ func AttributeImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) 
 		st.Importance = harmonicMean(st.Support, st.Discriminability)
 		out = append(out, st)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Importance != out[j].Importance {
-			return out[i].Importance > out[j].Importance
+	slices.SortFunc(out, func(a, b AttributeStat) int {
+		if a.Importance != b.Importance {
+			return cmp.Compare(b.Importance, a.Importance)
 		}
-		return out[i].Attribute < out[j].Attribute
+		return cmp.Compare(a.Attribute, b.Attribute)
 	})
 	return out, nil
 }
@@ -139,6 +140,6 @@ func NamesOf(d *kb.Description, nameAttrs []string) []string {
 	for n := range set {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

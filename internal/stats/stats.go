@@ -9,32 +9,53 @@
 package stats
 
 import (
+	"cmp"
 	"context"
 	"math"
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
 )
 
 // EFIndex holds the Entity Frequency of every token in one KB: the number of
-// entity descriptions whose values contain the token (Def. 2.1).
+// entity descriptions whose values contain the token (Def. 2.1). Counts are
+// columnar — a flat array indexed by the KB's interned TokenIDs — so both
+// construction and lookup avoid string hashing.
 type EFIndex struct {
-	counts map[string]int
+	dict     *kb.Interner
+	counts   []int32
+	distinct int
 }
 
-// BuildEFCtx computes the EF index with a parallel count-by-token pass,
+// BuildEFCtx computes the EF index with a parallel count-by-token-ID pass,
 // honoring cancellation.
 func BuildEFCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (*EFIndex, error) {
-	counts, err := parallel.CountByCtx(ctx, e, k.Len(), func(i int, yield func(string)) {
-		for _, t := range k.Entity(kb.EntityID(i)).Tokens() {
-			yield(t)
+	dict := k.TokenDict()
+	n := 0
+	if dict != nil {
+		n = dict.Len()
+	}
+	counts := make([]int32, n)
+	// Chunked scheduling: per-entity token counts are power-law skewed, so
+	// static spans would straggle behind the heavy entities.
+	err := e.Chunked().ForCtx(ctx, k.Len(), func(i int) error {
+		for _, id := range k.Entity(kb.EntityID(i)).TokenIDs() {
+			atomic.AddInt32(&counts[id], 1)
 		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &EFIndex{counts: counts}, nil
+	ix := &EFIndex{dict: dict, counts: counts}
+	for _, c := range counts {
+		if c > 0 {
+			ix.distinct++
+		}
+	}
+	return ix, nil
 }
 
 // BuildEF is BuildEFCtx without cancellation.
@@ -44,10 +65,34 @@ func BuildEF(e *parallel.Engine, k *kb.KB) *EFIndex {
 }
 
 // EF returns the entity frequency of token t (0 if the token never occurs).
-func (ix *EFIndex) EF(t string) int { return ix.counts[t] }
+func (ix *EFIndex) EF(t string) int {
+	if ix.dict == nil {
+		return 0
+	}
+	id, ok := ix.dict.Lookup(t)
+	if !ok {
+		return 0
+	}
+	return ix.EFByID(id)
+}
 
-// DistinctTokens returns the number of distinct tokens in the KB.
-func (ix *EFIndex) DistinctTokens() int { return len(ix.counts) }
+// EFByID returns the entity frequency of an interned token of Dict(). IDs
+// interned after the index was built (the dictionary may be shared and keep
+// growing) were not seen by the counting pass and report 0.
+func (ix *EFIndex) EFByID(id kb.TokenID) int {
+	if int(id) >= len(ix.counts) {
+		return 0
+	}
+	return int(ix.counts[id])
+}
+
+// Dict returns the token dictionary the index counts against.
+func (ix *EFIndex) Dict() *kb.Interner { return ix.dict }
+
+// DistinctTokens returns the number of distinct tokens in the KB. (The
+// dictionary may be shared with another KB; only tokens that actually occur
+// in this KB are counted.)
+func (ix *EFIndex) DistinctTokens() int { return ix.distinct }
 
 // RelationStat carries the support, discriminability and importance of one
 // relation predicate (Defs. 2.2–2.4).
@@ -104,11 +149,11 @@ func RelationImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (
 		st.Importance = harmonicMean(st.Support, st.Discriminability)
 		stats = append(stats, st)
 	}
-	sort.Slice(stats, func(i, j int) bool {
-		if stats[i].Importance != stats[j].Importance {
-			return stats[i].Importance > stats[j].Importance
+	slices.SortFunc(stats, func(a, b RelationStat) int {
+		if a.Importance != b.Importance {
+			return cmp.Compare(b.Importance, a.Importance)
 		}
-		return stats[i].Predicate < stats[j].Predicate
+		return cmp.Compare(a.Predicate, b.Predicate)
 	})
 	return stats, nil
 }
@@ -162,7 +207,7 @@ func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order ma
 				rels = append(rels, r.Predicate)
 			}
 		}
-		sort.Slice(rels, func(a, b int) bool { return order[rels[a]] < order[rels[b]] })
+		slices.SortFunc(rels, func(a, b string) int { return cmp.Compare(order[a], order[b]) })
 		if len(rels) > n {
 			rels = rels[:n]
 		}
@@ -180,7 +225,7 @@ func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order ma
 		for id := range nset {
 			out = append(out, id)
 		}
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		slices.Sort(out)
 		return out, nil
 	})
 }
@@ -202,7 +247,7 @@ func TopInNeighbors(top [][]kb.EntityID) [][]kb.EntityID {
 		}
 	}
 	for i := range in {
-		sort.Slice(in[i], func(a, b int) bool { return in[i][a] < in[i][b] })
+		slices.Sort(in[i])
 	}
 	return in
 }
@@ -216,23 +261,37 @@ func TopInNeighbors(top [][]kb.EntityID) [][]kb.EntityID {
 // (Algorithm 1 line 14); this direct form is the reference implementation
 // used by tests and by Figure 2.
 func ValueSim(di, dj *kb.Description, ef1, ef2 *EFIndex) float64 {
-	ti, tj := di.Tokens(), dj.Tokens()
+	ti, tj := di.TokenIDs(), dj.TokenIDs()
+	d1, d2 := di.Dict(), dj.Dict()
 	sum := 0.0
-	// Both token slices are sorted: linear merge intersection.
+	// Both token-ID slices are ordered by token string: linear merge
+	// intersection over dictionary strings, no per-call materialization.
 	a, b := 0, 0
 	for a < len(ti) && b < len(tj) {
+		sa, sb := d1.TokenString(ti[a]), d2.TokenString(tj[b])
 		switch {
-		case ti[a] < tj[b]:
+		case sa < sb:
 			a++
-		case ti[a] > tj[b]:
+		case sa > sb:
 			b++
 		default:
-			sum += TokenWeight(ef1.EF(ti[a]), ef2.EF(tj[b]))
+			sum += TokenWeight(EFOf(ef1, d1, ti[a], sa), EFOf(ef2, d2, tj[b], sb))
 			a++
 			b++
 		}
 	}
 	return sum
+}
+
+// EFOf resolves an entity frequency from an interned ID when the index was
+// built over the same dictionary, falling back to the string lookup when the
+// caller mixed dictionaries. It is the one place the "ID fast path vs string
+// fallback" rule lives; every EF consumer should go through it.
+func EFOf(ix *EFIndex, dict *kb.Interner, id kb.TokenID, s string) int {
+	if ix.dict == dict {
+		return ix.EFByID(id)
+	}
+	return ix.EF(s)
 }
 
 // TokenWeight is the contribution of one shared token: 1/log2(EF₁·EF₂+1).

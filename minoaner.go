@@ -53,11 +53,30 @@ type Builder = kb.Builder
 // EntityID identifies a description within one KB.
 type EntityID = kb.EntityID
 
+// TokenID is a dense identifier into a token dictionary (Interner).
+type TokenID = kb.TokenID
+
+// Interner is a token dictionary that interns every distinct token string
+// once. Share one Interner between the two KBs of a pair (see
+// NewBuilderWithInterner) and the resolution pipeline operates on a single
+// dense token-ID space end to end, skipping all cross-dictionary work.
+type Interner = kb.Interner
+
 // Description is one entity: a URI with attribute-value pairs and relations.
 type Description = kb.Description
 
 // NewBuilder starts a KB with the given display name.
 func NewBuilder(name string) *Builder { return kb.NewBuilder(name) }
+
+// NewInterner returns an empty shared token dictionary.
+func NewInterner() *Interner { return kb.NewInterner() }
+
+// NewBuilderWithInterner starts a KB that interns its tokens into the given
+// shared dictionary — the fast path for resolving the resulting KB against
+// another KB built over the same Interner.
+func NewBuilderWithInterner(name string, dict *Interner) *Builder {
+	return kb.NewBuilderWithInterner(name, dict)
+}
 
 // LoadNTriples reads a KB in N-Triples format; lenient skips malformed
 // lines instead of failing. It returns the KB and the skipped-line count.
