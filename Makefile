@@ -2,8 +2,16 @@
 
 SCALE ?= 0.5
 REPS  ?= 3
+# bench-check compares against the committed baseline, so its scale and
+# shard counts must match the ones the baseline was recorded with. The
+# tolerance is deliberately loose: per-stage wall-clock on shared CI runners
+# routinely swings ~2× between runs, and the gate exists to catch
+# order-of-magnitude algorithmic blowups, not scheduler jitter.
+CHECK_SCALE  ?= 0.25
+CHECK_SHARDS ?= 1,8
+TOLERANCE    ?= 3.0
 
-.PHONY: build test race fmt vet bench bench-test smoke
+.PHONY: build test race fmt vet lint cover bench bench-test smoke bench-check bench-baseline
 
 build:
 	go build ./...
@@ -20,10 +28,19 @@ fmt:
 vet:
 	go vet ./...
 
+# lint mirrors the CI lint job; requires golangci-lint on PATH.
+lint:
+	golangci-lint run ./...
+
+# cover writes the race-enabled coverage profile CI uploads as an artifact.
+cover:
+	go test -race -covermode=atomic -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -n 1
+
 # bench emits BENCH_<date>.json with per-stage wall-clock timings for every
 # Table-1 preset — the perf trajectory data points the ROADMAP asks for.
 bench:
-	go run ./cmd/experiments -bench -scale $(SCALE) -reps $(REPS)
+	go run ./cmd/experiments -bench -scale $(SCALE) -reps $(REPS) -shards $(CHECK_SHARDS)
 
 # bench-test runs the Go benchmark suite (tables, figures, stages, ablations).
 bench-test:
@@ -33,3 +50,16 @@ bench-test:
 smoke:
 	go test -run '^$$' -bench '^BenchmarkPipelineRestaurant$$' -benchtime 1x .
 	go run ./cmd/experiments -bench -datasets Restaurant -reps 1 -benchout /tmp/bench-smoke.json
+
+# bench-check is the CI benchmark-regression gate: re-measure at the
+# baseline's scale and fail on a >$(TOLERANCE)× per-stage regression (or an
+# F1/determinism break) against the committed BENCH_baseline.json.
+bench-check:
+	go run ./cmd/experiments -bench -scale $(CHECK_SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
+		-benchout /tmp/bench-current.json -check BENCH_baseline.json -tolerance $(TOLERANCE)
+
+# bench-baseline refreshes the committed gate baseline on the current tree
+# (run after an intentional perf change, commit the result).
+bench-baseline:
+	go run ./cmd/experiments -bench -scale $(CHECK_SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
+		-benchout BENCH_baseline.json

@@ -10,12 +10,17 @@
 //	experiments -datasets Restaurant,YAGO-IMDb
 //	experiments -bench                # per-stage timings → BENCH_<date>.json
 //	experiments -bench -reps 5 -benchout perf.json
+//	experiments -bench -shards 1,8    # + sharded-execution data points
+//	experiments -bench -scale 0.25 -check BENCH_baseline.json
+//	                                  # CI regression gate: fail on >2× stage
+//	                                  # regression against the committed baseline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,22 +29,30 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "regenerate one table (1–4)")
-		figure   = flag.Int("figure", 0, "regenerate one figure (2, 5 or 6)")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		datasets = flag.String("datasets", "", "comma-separated preset names (default: all four)")
-		csvPath  = flag.String("csv", "", "write Figure 2 points as CSV to this path")
-		bench    = flag.Bool("bench", false, "run the per-stage pipeline benchmark and write a BENCH JSON report")
-		reps     = flag.Int("reps", 3, "benchmark repetitions per dataset (with -bench)")
-		benchout = flag.String("benchout", "", "benchmark report path (default BENCH_<date>.json)")
+		table     = flag.Int("table", 0, "regenerate one table (1–4)")
+		figure    = flag.Int("figure", 0, "regenerate one figure (2, 5 or 6)")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		datasets  = flag.String("datasets", "", "comma-separated preset names (default: all four)")
+		csvPath   = flag.String("csv", "", "write Figure 2 points as CSV to this path")
+		bench     = flag.Bool("bench", false, "run the per-stage pipeline benchmark and write a BENCH JSON report")
+		reps      = flag.Int("reps", 3, "benchmark repetitions per dataset (with -bench)")
+		benchout  = flag.String("benchout", "", "benchmark report path (default BENCH_<date>.json)")
+		shardsCSV = flag.String("shards", "", "comma-separated shard counts to benchmark with ResolveSharded (with -bench)")
+		check     = flag.String("check", "", "baseline BENCH JSON to gate against (implies -bench; exit 1 on regression)")
+		tolerance = flag.Float64("tolerance", 2.0, "bench-check failure ratio: fail when a stage exceeds baseline×tolerance")
 	)
 	flag.Parse()
+	if *check != "" {
+		*bench = true
+	}
 	if !*all && *table == 0 && *figure == 0 && !*bench {
 		flag.Usage()
 		os.Exit(2)
 	}
+	shardCounts, err := parseShardCounts(*shardsCSV)
+	exitOn(err)
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
@@ -52,7 +65,7 @@ func main() {
 	exitOn(err)
 
 	if *bench {
-		report, err := suite.Bench(*reps)
+		report, err := suite.Bench(*reps, shardCounts)
 		exitOn(err)
 		path := *benchout
 		if path == "" {
@@ -61,6 +74,12 @@ func main() {
 		exitOn(report.WriteJSON(path))
 		fmt.Print(experiments.FormatBench(report))
 		fmt.Printf("(report written to %s)\n", path)
+		if *check != "" {
+			baseline, err := experiments.ReadBenchJSON(*check)
+			exitOn(err)
+			exitOn(experiments.CheckBench(report, baseline, *tolerance))
+			fmt.Printf("bench check OK against %s (tolerance ×%g)\n", *check, *tolerance)
+		}
 		if !*all && *table == 0 && *figure == 0 {
 			return
 		}
@@ -150,6 +169,21 @@ func main() {
 			return nil
 		})
 	}
+}
+
+func parseShardCounts(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -shards entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func exitOn(err error) {

@@ -5,12 +5,16 @@
 //
 //	minoaner -e1 kb1.nt -e2 kb2.nt [-format nt|tsv] [-gt truth.tsv]
 //	         [-k 2] [-K 15] [-N 3] [-theta 0.6] [-workers 0] [-rules]
-//	         [-timeout 30s]
+//	         [-timeout 30s] [-shards 0] [-stream]
 //
 // With -gt (a TSV of uri1<TAB>uri2 true matches) it also reports precision,
 // recall and F1. With -rules each output line is annotated with the
 // matching rule (R1–R3) that produced it. With -timeout the resolution is
-// aborted (exit status 1) once the duration elapses.
+// aborted (exit status 1) once the duration elapses. With -shards P the
+// per-entity stages run over P contiguous E1 shards with bounded peak
+// memory (output is identical for every P). With -stream the KBs are loaded
+// through the streaming ingestion path, which interns tokens incrementally
+// instead of queueing the whole file.
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 		rules   = flag.Bool("rules", false, "annotate matches with the producing rule")
 		quiet   = flag.Bool("quiet", false, "suppress the summary on stderr")
 		timeout = flag.Duration("timeout", 0, "abort resolution after this duration (0 = no limit)")
+		shards  = flag.Int("shards", 0, "split E1 into this many shards for memory-bounded execution (0 = monolithic)")
+		stream  = flag.Bool("stream", false, "load KBs through the streaming ingestion path")
 	)
 	flag.Parse()
 	if *e1Path == "" || *e2Path == "" {
@@ -46,9 +52,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	k1, err := loadKB("E1", *e1Path, *format)
+	k1, err := loadKB("E1", *e1Path, *format, *stream)
 	exitOn(err)
-	k2, err := loadKB("E2", *e2Path, *format)
+	k2, err := loadKB("E2", *e2Path, *format, *stream)
 	exitOn(err)
 
 	cfg := minoaner.DefaultConfig()
@@ -57,6 +63,7 @@ func main() {
 	cfg.RelN = *relN
 	cfg.Theta = *theta
 	cfg.Workers = *workers
+	cfg.ShardCount = *shards
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -96,7 +103,7 @@ func main() {
 	}
 }
 
-func loadKB(name, path, format string) (*minoaner.KB, error) {
+func loadKB(name, path, format string, stream bool) (*minoaner.KB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -106,10 +113,14 @@ func loadKB(name, path, format string) (*minoaner.KB, error) {
 		k       *minoaner.KB
 		skipped int
 	)
-	switch format {
-	case "nt":
+	switch {
+	case format == "nt" && stream:
+		k, skipped, err = minoaner.StreamNTriples(name, f, true)
+	case format == "nt":
 		k, skipped, err = minoaner.LoadNTriples(name, f, true)
-	case "tsv":
+	case format == "tsv" && stream:
+		k, skipped, err = minoaner.StreamTSV(name, f, true)
+	case format == "tsv":
 		k, skipped, err = minoaner.LoadTSV(name, f, true)
 	default:
 		return nil, fmt.Errorf("unknown format %q (want nt or tsv)", format)

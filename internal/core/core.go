@@ -44,6 +44,17 @@ type Config struct {
 	MaxBlockFraction float64
 	// Workers sets the parallel engine size; 0 uses all cores.
 	Workers int
+	// ShardCount (P) splits E1 into P contiguous entity shards and runs the
+	// per-entity stages (top-neighbor extraction, β/γ rows, rank
+	// aggregation) one shard at a time with bounded transient memory —
+	// see ResolveSharded. 0 or 1 selects the monolithic pipeline unless
+	// MaxShardBytes implies a larger count. Output is byte-identical to the
+	// monolithic run for every value.
+	ShardCount int
+	// MaxShardBytes caps the estimated size of the dominant per-shard
+	// structure (the shard's γ candidate rows); when ShardCount is 0 the
+	// shard count is derived from it. 0 means no byte-based cap.
+	MaxShardBytes int64
 	// Rules toggles individual matching rules and neighbor evidence; the
 	// zero value means "all rules enabled" (see normalize).
 	Rules *matching.Config
@@ -88,6 +99,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.NameK < 0 || c.TopK <= 0 || c.RelN < 0 {
 		return c, fmt.Errorf("core: invalid config: k=%d K=%d N=%d must be non-negative (K positive)", c.NameK, c.TopK, c.RelN)
+	}
+	if c.ShardCount < 0 || c.MaxShardBytes < 0 {
+		return c, fmt.Errorf("core: invalid config: ShardCount=%d MaxShardBytes=%d must be non-negative", c.ShardCount, c.MaxShardBytes)
 	}
 	if c.Theta <= 0 || c.Theta >= 1 {
 		return c, fmt.Errorf("core: invalid config: θ=%v must lie in (0,1)", c.Theta)
@@ -150,10 +164,17 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 // ctx.Err()) when the context is cancelled or its deadline expires — the
 // early-termination primitive that progressive/any-time ER and request
 // timeouts in a serving deployment both need.
+//
+// When cfg requests sharded execution (ShardCount > 1, or a MaxShardBytes
+// budget that implies more than one shard), the run is delegated to the
+// partitioned engine — see ResolveSharded; output is identical either way.
 func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
+	}
+	if p := cfg.effectiveShards(k1.Len()); p > 1 {
+		return resolveSharded(ctx, k1, k2, cfg, p)
 	}
 	eng := parallel.New(cfg.Workers)
 	out := &Output{}

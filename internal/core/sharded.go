@@ -1,0 +1,224 @@
+// Sharded, memory-bounded execution of the MinoanER pipeline: E1 is split
+// into P contiguous entity shards and every per-entity stage — top-neighbor
+// extraction, β row construction, E1-side γ construction and rank
+// aggregation — runs one shard at a time over the SHARED blocking substrate
+// (name blocks and the columnar TokenIndex are built once, exactly as in the
+// monolithic pipeline). Per-shard results merge in span order, so the output
+// is byte-identical to Resolve for every shard count; only the lifetime of
+// the transient per-shard state changes. This is the in-process analogue of
+// the paper's executor partitioning (§4.1) and the seam a later multi-process
+// distribution plugs into: each shard touches only its E1 span plus the
+// shared read-only indices.
+package core
+
+import (
+	"context"
+	"time"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+	"minoaner/internal/matching"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// effectiveShards resolves the shard count of a normalized Config for an E1
+// of n1 entities: an explicit ShardCount wins; otherwise a MaxShardBytes
+// budget implies a count; otherwise 1 (monolithic).
+func (c Config) effectiveShards(n1 int) int {
+	p := c.ShardCount
+	if p == 0 && c.MaxShardBytes > 0 {
+		p = shardCountForBudget(n1, c.TopK, c.MaxShardBytes)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n1 && n1 > 0 {
+		p = n1
+	}
+	return p
+}
+
+// shardCountForBudget derives a shard count from a per-shard byte budget.
+// The dominant structure whose lifetime sharding bounds is the shard's γ
+// candidate rows: one slice header plus up to K edges per entity.
+func shardCountForBudget(n1, topK int, maxBytes int64) int {
+	perRow := int64(24 + 16*topK)
+	rows := maxBytes / perRow
+	if rows < 1 {
+		rows = 1
+	}
+	return int((int64(n1) + rows - 1) / rows)
+}
+
+// shardSpans partitions [0, n) into at most p contiguous ascending spans of
+// near-equal size (never empty; nil for n == 0).
+func shardSpans(n, p int) []parallel.Span {
+	return parallel.New(p).Partitions(n)
+}
+
+// ResolveSharded runs the full MinoanER pipeline with E1 split into p
+// contiguous shards. Output (matches, rule provenance, R4 removals, graph
+// edge count, block statistics) is byte-identical to Resolve / ResolveContext
+// on the same inputs for every p; peak memory drops because the E1-side γ
+// lists — the largest per-node structure the monolithic graph retains — and
+// the per-shard transients live one shard at a time, and because the two γ
+// adjacencies are built sequentially instead of held together. p < 1 falls
+// back to the count implied by cfg (ShardCount / MaxShardBytes, else 1).
+func ResolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Output, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if p < 1 {
+		p = cfg.effectiveShards(k1.Len())
+	}
+	return resolveSharded(ctx, k1, k2, cfg, p)
+}
+
+// resolveSharded is the sharded pipeline over a normalized Config.
+func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Output, error) {
+	eng := parallel.New(cfg.Workers)
+	shards := shardSpans(k1.Len(), p)
+	out := &Output{}
+	start := time.Now()
+
+	// Stage 1 — statistics. Name attributes and relation importances are
+	// global aggregates, computed exactly as in the monolithic pipeline; the
+	// per-entity top-neighbor rows of E1 are extracted shard at a time (the
+	// E2 side stays a single pass, concurrent with the shard loop).
+	t0 := time.Now()
+	var (
+		ord1, ord2 map[string]int
+		top1, top2 [][]kb.EntityID
+	)
+	err := eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			out.NameAttrs1, err = stats.NameAttributesCtx(sc, eng, k1, cfg.NameK)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			out.NameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
+			ord1 = stats.GlobalRelationOrder(ri)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
+			ord2 = stats.GlobalRelationOrder(ri)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			top1 = make([][]kb.EntityID, k1.Len())
+			for _, s := range shards {
+				rows, err := stats.TopNeighborsSpanCtx(sc, eng, k1, ord1, cfg.RelN, s)
+				if err != nil {
+					return err
+				}
+				copy(top1[s.Lo:s.Hi], rows)
+			}
+			return nil
+		},
+		func(sc context.Context) error {
+			var err error
+			top2, err = stats.TopNeighborsCtx(sc, eng, k2, ord2, cfg.RelN)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	out.Timings.Statistics = time.Since(t0)
+
+	// Stage 2 — composite blocking: identical to the monolithic pipeline;
+	// the name blocks and the purged TokenIndex are the shared substrate
+	// every shard reads.
+	t0 = time.Now()
+	var nameBlocks *blocking.Collection
+	var tokenIx *blocking.TokenIndex
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			nameBlocks, err = blocking.NameBlocksCtx(sc, eng, k1, k2, out.NameAttrs1, out.NameAttrs2)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			tokenIx, err = blocking.NewTokenIndexCtx(sc, eng, k1, k2)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if budget := blocking.ComparisonBudget(k1.Len(), k2.Len(), cfg.MaxBlockFraction); budget > 0 {
+		out.PurgeThreshold = budget
+		tokenIx, out.PurgedBlocks = tokenIx.PurgeAbove(budget)
+	}
+	tokenBlocks := tokenIx.Collection()
+	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
+	out.Timings.Blocking = time.Since(t0)
+
+	// Stage 3 — disjunctive blocking graph, sharded: α, both β directions
+	// and the E2-side γ lists are materialized; the E1-side γ rows are left
+	// to the scope and produced per shard during matching.
+	t0 = time.Now()
+	g, scope, err := graph.BuildShardedCtx(ctx, eng, graph.Input{
+		K1: k1, K2: k2,
+		NameBlocks:  nameBlocks,
+		TokenBlocks: tokenBlocks,
+		TokenIndex:  tokenIx,
+		Top1:        top1,
+		Top2:        top2,
+		K:           cfg.TopK,
+	}, shards)
+	if err != nil {
+		return nil, err
+	}
+	out.Timings.Graph = time.Since(t0)
+
+	// Stage 4 — matching. The γ rows of each shard are built on demand; the
+	// time spent inside the scope is accounted to the graph stage and the
+	// rows are tallied so GraphEdges reports the same count as a monolithic
+	// run, even though the full Gamma1 never exists at once.
+	t0 = time.Now()
+	var gammaTime time.Duration
+	gamma1Edges := 0
+	gammaFor := func(gctx context.Context, s parallel.Span) ([][]graph.Edge, error) {
+		gt := time.Now()
+		rows, err := scope.BuildSpan(gctx, s)
+		gammaTime += time.Since(gt)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			gamma1Edges += len(r)
+		}
+		return rows, nil
+	}
+	mc := *cfg.Rules
+	mc.Theta = cfg.Theta
+	res, err := matching.RunShardedCtx(ctx, eng, g, k1, k2, mc, shards, gammaFor)
+	if err != nil {
+		return nil, err
+	}
+	out.Matches = res.Matches
+	out.RemovedByR4 = res.RemovedByR4
+	out.GraphEdges = g.Edges() + gamma1Edges
+	out.Timings.Graph += gammaTime
+	out.Timings.Matching = time.Since(t0) - gammaTime
+
+	out.Timings.Total = time.Since(start)
+	return out, nil
+}

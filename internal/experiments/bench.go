@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
 	"strings"
 	"time"
 
 	"minoaner/internal/core"
+	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
 )
 
@@ -27,9 +31,26 @@ type BenchResult struct {
 	GraphMS      float64 `json:"graph_ms"`
 	MatchingMS   float64 `json:"matching_ms"`
 	TotalMS      float64 `json:"total_ms"`
+	// PeakHeapMB is the maximum live-heap sample observed during one extra,
+	// untimed repetition (see sampleHeapPeak) — the memory trajectory
+	// counterpart of the stage timings.
+	PeakHeapMB float64 `json:"peak_heap_mb"`
 	// Effectiveness, so a perf data point can't silently trade away quality.
 	Matches int     `json:"matches"`
 	F1      float64 `json:"f1"`
+	// ShardRuns holds one entry per requested shard count: the same pipeline
+	// under core.ResolveSharded, timed and heap-sampled the same way.
+	ShardRuns []ShardRun `json:"shard_runs,omitempty"`
+}
+
+// ShardRun is one sharded-execution data point of a dataset: ResolveSharded
+// with Shards E1 shards must reproduce the monolithic matches exactly while
+// bounding peak memory, so the record carries both.
+type ShardRun struct {
+	Shards     int     `json:"shards"`
+	TotalMS    float64 `json:"total_ms"`
+	PeakHeapMB float64 `json:"peak_heap_mb"`
+	Matches    int     `json:"matches"`
 }
 
 // BenchReport is the JSON document `cmd/experiments -bench` emits
@@ -44,8 +65,11 @@ type BenchReport struct {
 
 // Bench runs the full pipeline reps times on every suite dataset and
 // collects per-stage timings (fastest repetition per stage) plus F1 against
-// the generated ground truth.
-func (s *Suite) Bench(reps int) (*BenchReport, error) {
+// the generated ground truth, and a heap-peak sample from one extra untimed
+// repetition. For every entry of shardCounts it additionally benchmarks
+// core.ResolveSharded at that shard count (total wall clock, heap peak, and
+// the match count, which must equal the monolithic one).
+func (s *Suite) Bench(reps int, shardCounts []int) (*BenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -109,9 +133,104 @@ func (s *Suite) Bench(reps int) (*BenchReport, error) {
 		r.GraphMS = ms(best.Graph)
 		r.MatchingMS = ms(best.Matching)
 		r.TotalMS = ms(best.Total)
+		peak, err := sampleHeapPeak(func() error {
+			_, err := core.Resolve(d.K1, d.K2, cfg)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.PeakHeapMB = mb(peak)
+		for _, p := range shardCounts {
+			sr, err := s.benchSharded(d, cfg, reps, p)
+			if err != nil {
+				return nil, err
+			}
+			r.ShardRuns = append(r.ShardRuns, sr)
+		}
 		report.Results = append(report.Results, r)
 	}
 	return report, nil
+}
+
+// benchSharded times core.ResolveSharded at one shard count (best of reps)
+// and heap-samples one extra repetition.
+func (s *Suite) benchSharded(d *datagen.Dataset, cfg core.Config, reps, shards int) (ShardRun, error) {
+	sr := ShardRun{Shards: shards}
+	var bestTotal time.Duration
+	for i := 0; i < reps; i++ {
+		out, err := core.ResolveSharded(context.Background(), d.K1, d.K2, cfg, shards)
+		if err != nil {
+			return sr, err
+		}
+		if i == 0 || out.Timings.Total < bestTotal {
+			bestTotal = out.Timings.Total
+		}
+		if i == 0 {
+			sr.Matches = len(out.Matches)
+		}
+	}
+	sr.TotalMS = float64(bestTotal.Microseconds()) / 1000
+	peak, err := sampleHeapPeak(func() error {
+		_, err := core.ResolveSharded(context.Background(), d.K1, d.K2, cfg, shards)
+		return err
+	})
+	if err != nil {
+		return sr, err
+	}
+	sr.PeakHeapMB = mb(peak)
+	return sr, nil
+}
+
+func mb(bytes uint64) float64 { return float64(bytes) / (1 << 20) }
+
+// sampleHeapPeak runs fn while a background sampler polls the live heap
+// ("/memory/classes/heap/objects:bytes" from runtime/metrics, ~1 kHz) and
+// returns the maximum sample minus the pre-run floor. The run is untimed, so
+// GC is temporarily made aggressive (GOGC≈20): with the default pacing the
+// heap floats up to ~2× the live set between collections and the sample
+// would mostly measure collector laziness, not the pipeline's working set.
+// The sampler necessarily misses sub-millisecond spikes, making this a
+// trajectory metric, not a bound.
+func sampleHeapPeak(fn func() error) (uint64, error) {
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	read := func() uint64 {
+		metrics.Read(sample)
+		return sample[0].Value.Uint64()
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	floor := read()
+	peak := floor
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if v := read(); v > peak {
+				peak = v
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	err := fn()
+	close(done)
+	<-finished
+	if v := read(); v > peak {
+		peak = v
+	}
+	if err != nil {
+		return 0, err
+	}
+	if peak < floor {
+		return 0, nil
+	}
+	return peak - floor, nil
 }
 
 // WriteJSON writes the report to path (pretty-printed, trailing newline).
@@ -123,16 +242,22 @@ func (r *BenchReport) WriteJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// FormatBench renders the report as an aligned text table.
+// FormatBench renders the report as an aligned text table, with one indented
+// row per sharded run under its dataset.
 func FormatBench(r *BenchReport) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pipeline stage timings (ms, best of %s; %s, GOMAXPROCS=%d, scale=%g)\n",
 		plural(r.Results), r.GoVersion, r.GOMAXPROCS, r.Scale)
-	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %9s %7s\n",
-		"dataset", "stats", "blocking", "graph", "matching", "total", "matches", "F1")
+	fmt.Fprintf(&sb, "%-18s %9s %9s %9s %9s %9s %9s %9s %7s\n",
+		"dataset", "stats", "blocking", "graph", "matching", "total", "peakMB", "matches", "F1")
 	for _, x := range r.Results {
-		fmt.Fprintf(&sb, "%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %9d %7.3f\n",
-			x.Dataset, x.StatisticsMS, x.BlockingMS, x.GraphMS, x.MatchingMS, x.TotalMS, x.Matches, x.F1)
+		fmt.Fprintf(&sb, "%-18s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9d %7.3f\n",
+			x.Dataset, x.StatisticsMS, x.BlockingMS, x.GraphMS, x.MatchingMS, x.TotalMS,
+			x.PeakHeapMB, x.Matches, x.F1)
+		for _, sr := range x.ShardRuns {
+			fmt.Fprintf(&sb, "  %-16s %49.1f %9.1f %9d\n",
+				fmt.Sprintf("shards=%d", sr.Shards), sr.TotalMS, sr.PeakHeapMB, sr.Matches)
+		}
 	}
 	return sb.String()
 }

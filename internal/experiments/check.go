@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// checkFloorMS is the baseline stage time below which regressions are
+// ignored: sub-10ms stages are dominated by scheduler and allocator noise,
+// not by algorithmic regressions.
+const checkFloorMS = 10.0
+
+// ReadBenchJSON loads a benchmark report written by BenchReport.WriteJSON —
+// the committed baseline the CI regression gate compares against.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckBench compares a freshly measured report against a committed
+// baseline and returns an error listing every regression found. The gate is
+// deliberately generous — it exists to catch algorithmic blowups, not CI
+// machine jitter:
+//
+//   - a per-stage timing fails only when the baseline stage is at least
+//     checkFloorMS AND the current time exceeds baseline × maxRatio;
+//   - sharded total timings are held to the same ratio against their own
+//     baseline entry (matched by shard count);
+//   - effectiveness must not silently degrade: F1 may drop at most 0.05
+//     absolute, and a sharded run must reproduce the monolithic match count
+//     of its own report (the byte-identity contract);
+//   - the reports must be comparable at all: same scale, and every baseline
+//     dataset present in the current report.
+//
+// A nil return means the gate passes.
+func CheckBench(cur, base *BenchReport, maxRatio float64) error {
+	if maxRatio <= 1 {
+		return fmt.Errorf("experiments: check tolerance %g must exceed 1", maxRatio)
+	}
+	var fails []string
+	failf := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+	if cur.Scale != base.Scale {
+		failf("scale mismatch: current %g vs baseline %g (refresh the baseline or pass -scale %g)",
+			cur.Scale, base.Scale, base.Scale)
+	} else {
+		for _, b := range base.Results {
+			c := findResult(cur, b.Dataset)
+			if c == nil {
+				failf("%s: present in baseline but not in current run", b.Dataset)
+				continue
+			}
+			stages := []struct {
+				name      string
+				base, cur float64
+			}{
+				{"statistics", b.StatisticsMS, c.StatisticsMS},
+				{"blocking", b.BlockingMS, c.BlockingMS},
+				{"graph", b.GraphMS, c.GraphMS},
+				{"matching", b.MatchingMS, c.MatchingMS},
+				{"total", b.TotalMS, c.TotalMS},
+			}
+			for _, st := range stages {
+				if st.base >= checkFloorMS && st.cur > st.base*maxRatio {
+					failf("%s: %s stage %.1fms exceeds %.1fms baseline ×%.1f tolerance",
+						b.Dataset, st.name, st.cur, st.base, maxRatio)
+				}
+			}
+			if c.F1 < b.F1-0.05 {
+				failf("%s: F1 %.3f dropped more than 0.05 below baseline %.3f", b.Dataset, c.F1, b.F1)
+			}
+			for _, bs := range b.ShardRuns {
+				cs := findShardRun(c, bs.Shards)
+				if cs == nil {
+					failf("%s: shards=%d present in baseline but not in current run", b.Dataset, bs.Shards)
+					continue
+				}
+				if bs.TotalMS >= checkFloorMS && cs.TotalMS > bs.TotalMS*maxRatio {
+					failf("%s: shards=%d total %.1fms exceeds %.1fms baseline ×%.1f tolerance",
+						b.Dataset, bs.Shards, cs.TotalMS, bs.TotalMS, maxRatio)
+				}
+			}
+			for _, cs := range c.ShardRuns {
+				if cs.Matches != c.Matches {
+					failf("%s: shards=%d produced %d matches, monolithic produced %d (determinism broken)",
+						b.Dataset, cs.Shards, cs.Matches, c.Matches)
+				}
+			}
+		}
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiments: bench check failed:\n  %s", strings.Join(fails, "\n  "))
+}
+
+func findResult(r *BenchReport, dataset string) *BenchResult {
+	for i := range r.Results {
+		if r.Results[i].Dataset == dataset {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+func findShardRun(r *BenchResult, shards int) *ShardRun {
+	for i := range r.ShardRuns {
+		if r.ShardRuns[i].Shards == shards {
+			return &r.ShardRuns[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseReport() *BenchReport {
+	return &BenchReport{
+		Date: "2026-01-01", Scale: 0.25,
+		Results: []BenchResult{{
+			Dataset:      "Restaurant",
+			StatisticsMS: 40, BlockingMS: 20, GraphMS: 30, MatchingMS: 4, TotalMS: 100,
+			Matches: 50, F1: 0.93,
+			ShardRuns: []ShardRun{{Shards: 8, TotalMS: 110, Matches: 50}},
+		}},
+	}
+}
+
+func TestCheckBenchPassesWithinTolerance(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	// 1.9× everywhere is within the 2× gate.
+	cur.Results[0].StatisticsMS *= 1.9
+	cur.Results[0].TotalMS *= 1.9
+	cur.Results[0].ShardRuns[0].TotalMS *= 1.9
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("within-tolerance report failed the gate: %v", err)
+	}
+}
+
+func TestCheckBenchFailsOnStageRegression(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Results[0].GraphMS = base.Results[0].GraphMS*2 + 1
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "graph stage") {
+		t.Errorf("2×+ graph regression not caught: %v", err)
+	}
+}
+
+func TestCheckBenchIgnoresNoiseFloorStages(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	// Matching baseline (4ms) is below the 10ms floor: even a 10× blip passes.
+	cur.Results[0].MatchingMS = 40
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("sub-floor stage blip failed the gate: %v", err)
+	}
+}
+
+func TestCheckBenchFailsOnF1Drop(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Results[0].F1 = base.Results[0].F1 - 0.2
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "F1") {
+		t.Errorf("F1 drop not caught: %v", err)
+	}
+}
+
+func TestCheckBenchFailsOnShardMismatch(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Results[0].ShardRuns[0].Matches = 49
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("sharded match-count divergence not caught: %v", err)
+	}
+}
+
+func TestCheckBenchFailsOnScaleOrDatasetMismatch(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Scale = 0.5
+	if err := CheckBench(cur, base, 2.0); err == nil {
+		t.Error("scale mismatch not caught")
+	}
+	cur = baseReport()
+	cur.Results = nil
+	if err := CheckBench(cur, base, 2.0); err == nil {
+		t.Error("missing dataset not caught")
+	}
+	if err := CheckBench(cur, base, 0.5); err == nil {
+		t.Error("tolerance <= 1 not rejected")
+	}
+}
+
+func TestBenchReportJSONRoundTrip(t *testing.T) {
+	base := baseReport()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := base.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBench(got, base, 2.0); err != nil {
+		t.Errorf("round-tripped report failed its own gate: %v", err)
+	}
+	if len(got.Results) != 1 || got.Results[0].ShardRuns[0].Shards != 8 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+// The smallest preset end to end: Bench with a shard sweep produces shard
+// runs whose match counts equal the monolithic run, and the report passes a
+// self-check.
+func TestBenchWithShardSweep(t *testing.T) {
+	s, err := NewSuite(Options{ScaleFactor: 0.2, Datasets: []string{"Restaurant"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.Bench(1, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := report.Results[0]
+	if len(r.ShardRuns) != 2 {
+		t.Fatalf("shard runs = %+v, want 2", r.ShardRuns)
+	}
+	for _, sr := range r.ShardRuns {
+		if sr.Matches != r.Matches {
+			t.Errorf("shards=%d matches %d != monolithic %d", sr.Shards, sr.Matches, r.Matches)
+		}
+	}
+	if err := CheckBench(report, report, 2.0); err != nil {
+		t.Errorf("report failed self-check: %v", err)
+	}
+}

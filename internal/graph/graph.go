@@ -78,22 +78,7 @@ func BuildCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, error)
 		Alpha2: make([][]kb.EntityID, in.K2.Len()),
 	}
 	ce := e.Chunked()
-	// Both β directions walk one shared token index with per-token weights
-	// precomputed once. When the caller-supplied index and TokenBlocks
-	// disagree (a caller purged only one of the two views), the more-purged
-	// side wins so Block Purging is never silently discarded: an index with
-	// MORE live blocks than the collection means only the collection was
-	// purged (the pre-index idiom) and a consistent index is derived from
-	// it; an index with FEWER live blocks means only the index was purged
-	// and it is honored as-is. Ties with diverging aggregate comparisons
-	// fall back to the collection, the documented source of truth.
-	ix := in.TokenIndex
-	switch {
-	case ix == nil,
-		ix.Live() > in.TokenBlocks.Len(),
-		ix.Live() == in.TokenBlocks.Len() && ix.TotalComparisons() != in.TokenBlocks.TotalComparisons():
-		ix = blocking.IndexFromCollection(in.TokenBlocks, in.K1, in.K2)
-	}
+	ix := resolveIndex(in)
 	var beta1, beta2 [][]Edge
 	// Name evidence and the two directions of value evidence are mutually
 	// independent (Figure 4 runs them concurrently).
@@ -126,36 +111,49 @@ func Build(e *parallel.Engine, in Input) *Graph {
 	return g
 }
 
+// resolveIndex picks the token index the β stage walks. Both β directions
+// use one shared index with per-token weights precomputed once. When the
+// caller-supplied index and TokenBlocks disagree (a caller purged only one
+// of the two views), the more-purged side wins so Block Purging is never
+// silently discarded: an index with MORE live blocks than the collection
+// means only the collection was purged (the pre-index idiom) and a
+// consistent index is derived from it; an index with FEWER live blocks means
+// only the index was purged and it is honored as-is. Ties with diverging
+// aggregate comparisons fall back to the collection, the documented source
+// of truth.
+func resolveIndex(in Input) *blocking.TokenIndex {
+	ix := in.TokenIndex
+	switch {
+	case ix == nil,
+		ix.Live() > in.TokenBlocks.Len(),
+		ix.Live() == in.TokenBlocks.Len() && ix.TotalComparisons() != in.TokenBlocks.TotalComparisons():
+		return blocking.IndexFromCollection(in.TokenBlocks, in.K1, in.K2)
+	}
+	return ix
+}
+
 // buildAlpha scans the name blocks for 1×1 blocks: a name used by exactly
-// one entity of each KB (Algorithm 1, lines 5–9).
+// one entity of each KB (Algorithm 1, lines 5–9). Pairs are gathered first
+// and deduplicated with one sort+compact per node, so an entity carrying
+// many unique names costs O(d log d) instead of the quadratic append-scan of
+// the earlier appendUnique idiom.
 func (g *Graph) buildAlpha(in Input) {
 	for i := range in.NameBlocks.Blocks {
 		b := &in.NameBlocks.Blocks[i]
 		if len(b.E1) == 1 && len(b.E2) == 1 {
 			e1, e2 := b.E1[0], b.E2[0]
-			g.Alpha1[e1] = appendUnique(g.Alpha1[e1], e2)
-			g.Alpha2[e2] = appendUnique(g.Alpha2[e2], e1)
+			g.Alpha1[e1] = append(g.Alpha1[e1], e2)
+			g.Alpha2[e2] = append(g.Alpha2[e2], e1)
 		}
 	}
 	for i := range g.Alpha1 {
-		sortIDs(g.Alpha1[i])
+		slices.Sort(g.Alpha1[i])
+		g.Alpha1[i] = slices.Compact(g.Alpha1[i])
 	}
 	for i := range g.Alpha2 {
-		sortIDs(g.Alpha2[i])
+		slices.Sort(g.Alpha2[i])
+		g.Alpha2[i] = slices.Compact(g.Alpha2[i])
 	}
-}
-
-func appendUnique(xs []kb.EntityID, x kb.EntityID) []kb.EntityID {
-	for _, y := range xs {
-		if y == x {
-			return xs
-		}
-	}
-	return append(xs, x)
-}
-
-func sortIDs(xs []kb.EntityID) {
-	slices.Sort(xs)
 }
 
 // buildBeta computes, for every entity of one side, its top-K candidates by
@@ -165,8 +163,16 @@ func sortIDs(xs []kb.EntityID) {
 // is purely columnar — token IDs into CSR member arrays with weights
 // precomputed once per index — with no string hashing per (entity, token).
 func buildBeta(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int) ([][]Edge, error) {
-	return parallel.MapCtx(ctx, e, from.Len(), func(i int) ([]Edge, error) {
-		d := from.Entity(kb.EntityID(i))
+	return buildBetaSpan(ctx, e, ix, from, fromIsE1, k, parallel.Span{Lo: 0, Hi: from.Len()})
+}
+
+// buildBetaSpan computes the β rows of one contiguous entity span, returning
+// s.Len() rows (row i describes entity s.Lo+i). Rows are per-entity
+// independent, so concatenating span results in span order is identical to
+// one full-range pass — the invariant sharded construction relies on.
+func buildBetaSpan(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int, s parallel.Span) ([][]Edge, error) {
+	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]Edge, error) {
+		d := from.Entity(kb.EntityID(s.Lo + i))
 		var acc map[kb.EntityID]float64
 		ix.ForEachShared(d, fromIsE1, func(w float64, others []kb.EntityID) {
 			if acc == nil {
@@ -222,11 +228,30 @@ func (g *Graph) buildGamma(ctx context.Context, e *parallel.Engine, in Input) er
 	// Gather formulation of lines 20–27: γ(a, b) = Σ β(na, y) over a's top
 	// neighbors na and their retained β-edges (na, y) with y a top neighbor
 	// of b, i.e. b ∈ in2[y].
-	gamma1, err := parallel.MapCtx(ctx, e, in.K1.Len(), func(a int) ([]Edge, error) {
+	gamma1, err := gammaRows(ctx, e, parallel.Span{Lo: 0, Hi: in.K1.Len()}, in.Top1, adj1, in2, in.K)
+	if err != nil {
+		return err
+	}
+	gamma2, err := gammaRows(ctx, e, parallel.Span{Lo: 0, Hi: in.K2.Len()}, in.Top2, adj2, in1, in.K)
+	if err != nil {
+		return err
+	}
+	g.Gamma1, g.Gamma2 = gamma1, gamma2
+	return nil
+}
+
+// gammaRows computes the γ candidate rows of one side for a contiguous node
+// span: row i holds the pruned neighbor-similarity candidates of node s.Lo+i.
+// top is the side's own top-neighbor lists, adj its merged undirected β
+// adjacency, and inOther the reverse top-neighbor index of the OTHER side.
+// Rows are per-node independent, so span concatenation in order reproduces
+// the full-range pass exactly.
+func gammaRows(ctx context.Context, e *parallel.Engine, s parallel.Span, top [][]kb.EntityID, adj [][]Edge, inOther [][]kb.EntityID, k int) ([][]Edge, error) {
+	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]Edge, error) {
 		var acc map[kb.EntityID]float64
-		for _, na := range in.Top1[a] {
-			for _, edge := range adj1[na] {
-				ins := in2[edge.To]
+		for _, na := range top[s.Lo+i] {
+			for _, edge := range adj[na] {
+				ins := inOther[edge.To]
 				if len(ins) == 0 {
 					continue
 				}
@@ -238,39 +263,16 @@ func (g *Graph) buildGamma(ctx context.Context, e *parallel.Engine, in Input) er
 				}
 			}
 		}
-		return topK(acc, in.K), nil
+		return topK(acc, k), nil
 	})
-	if err != nil {
-		return err
-	}
-	gamma2, err := parallel.MapCtx(ctx, e, in.K2.Len(), func(b int) ([]Edge, error) {
-		var acc map[kb.EntityID]float64
-		for _, nb := range in.Top2[b] {
-			for _, edge := range adj2[nb] {
-				ins := in1[edge.To]
-				if len(ins) == 0 {
-					continue
-				}
-				if acc == nil {
-					acc = make(map[kb.EntityID]float64)
-				}
-				for _, a := range ins {
-					acc[a] += edge.Weight
-				}
-			}
-		}
-		return topK(acc, in.K), nil
-	})
-	if err != nil {
-		return err
-	}
-	g.Gamma1, g.Gamma2 = gamma1, gamma2
-	return nil
 }
 
 // mergeAdjacency merges the directed retained β-edges of both directions
 // into an undirected adjacency for one side: out[x] holds each neighbor y at
-// most once with its β weight, sorted by entity ID.
+// most once with its β weight, sorted by entity ID. When both directions
+// retained the edge (x, y) their β weights coincide (valueSim is symmetric),
+// but the dedup is still made deterministic by sorting ties on descending
+// weight before compacting — the kept edge never depends on input order.
 func mergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
 	out := make([][]Edge, n)
 	for x := range own {
@@ -285,7 +287,12 @@ func mergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
 		if len(out[x]) < 2 {
 			continue
 		}
-		slices.SortFunc(out[x], func(a, b Edge) int { return cmp.Compare(a.To, b.To) })
+		slices.SortFunc(out[x], func(a, b Edge) int {
+			if a.To != b.To {
+				return cmp.Compare(a.To, b.To)
+			}
+			return cmp.Compare(b.Weight, a.Weight)
+		})
 		dst := out[x][:1]
 		for _, edge := range out[x][1:] {
 			if edge.To != dst[len(dst)-1].To {
@@ -318,6 +325,19 @@ func (g *Graph) HasDirectedEdge1(e1, e2 kb.EntityID) bool {
 // HasDirectedEdge2 is HasDirectedEdge1 for the E2 → E1 direction.
 func (g *Graph) HasDirectedEdge2(e2, e1 kb.EntityID) bool {
 	return containsID(g.Alpha2[e2], e1) || containsEdge(g.Beta2[e2], e1) || containsEdge(g.Gamma2[e2], e1)
+}
+
+// HasDirectedEdge1NoGamma is HasDirectedEdge1 restricted to α/β evidence.
+// The sharded matcher uses it together with EdgeListContains over the
+// shard-local γ rows, which are never retained in the Graph.
+func (g *Graph) HasDirectedEdge1NoGamma(e1, e2 kb.EntityID) bool {
+	return containsID(g.Alpha1[e1], e2) || containsEdge(g.Beta1[e1], e2)
+}
+
+// EdgeListContains reports whether an edge list holds an edge to the given
+// node — the G.E membership test over an externally held candidate row.
+func EdgeListContains(es []Edge, to kb.EntityID) bool {
+	return containsEdge(es, to)
 }
 
 func containsID(xs []kb.EntityID, x kb.EntityID) bool {

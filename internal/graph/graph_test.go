@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -233,6 +235,130 @@ func TestMergeAdjacency(t *testing.T) {
 	}
 	if adj[0][0].To != 0 || adj[0][1].To != 1 {
 		t.Errorf("adj[0] = %v, want sorted by ID", adj[0])
+	}
+}
+
+// Duplicate edges (same To) must dedup deterministically — the higher weight
+// wins no matter which direction contributed it first. (In the pipeline both
+// weights coincide because valueSim is symmetric; the tie rule makes the
+// merge order-insensitive by construction, not by accident.)
+func TestMergeAdjacencyTieBreaking(t *testing.T) {
+	ownFirst := mergeAdjacency(
+		[][]Edge{{{To: 3, Weight: 0.25}}},
+		[][]Edge{nil, nil, nil, {{To: 0, Weight: 0.75}}},
+		1)
+	reverseFirst := mergeAdjacency(
+		[][]Edge{{{To: 3, Weight: 0.75}}},
+		[][]Edge{nil, nil, nil, {{To: 0, Weight: 0.25}}},
+		1)
+	for name, adj := range map[string][][]Edge{"own-low": ownFirst, "own-high": reverseFirst} {
+		if len(adj[0]) != 1 {
+			t.Fatalf("%s: adj[0] = %v, want 1 deduped edge", name, adj[0])
+		}
+		if adj[0][0] != (Edge{To: 3, Weight: 0.75}) {
+			t.Errorf("%s: kept %v, want the max-weight duplicate {3 0.75}", name, adj[0][0])
+		}
+	}
+	// Multiple duplicates interleaved with distinct neighbors.
+	adj := mergeAdjacency(
+		[][]Edge{{{To: 1, Weight: 0.5}, {To: 2, Weight: 0.9}}},
+		[][]Edge{nil, {{To: 0, Weight: 0.5}}, {{To: 0, Weight: 0.9}}, {{To: 0, Weight: 0.1}}},
+		1)
+	want := []Edge{{To: 1, Weight: 0.5}, {To: 2, Weight: 0.9}, {To: 3, Weight: 0.1}}
+	if !reflect.DeepEqual(adj[0], want) {
+		t.Errorf("adj[0] = %v, want %v", adj[0], want)
+	}
+}
+
+// topK must order equal weights by ascending entity ID at every position,
+// including across the truncation boundary.
+func TestTopKTieBreaking(t *testing.T) {
+	acc := map[kb.EntityID]float64{8: 0.5, 2: 0.5, 5: 0.5, 1: 0.25}
+	got := topK(acc, 3)
+	want := []Edge{{2, 0.5}, {5, 0.5}, {8, 0.5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("topK ties = %v, want %v (ID 1 with lower weight truncated)", got, want)
+	}
+}
+
+// uniqueNameBlocks builds a pathological name-block collection: one E1
+// entity shares nBlocks distinct unique names with the same E2 entity, so
+// its alpha list is appended nBlocks times — the workload that was quadratic
+// under the appendUnique idiom.
+func uniqueNameBlocks(nBlocks int) *blocking.Collection {
+	c := &blocking.Collection{Blocks: make([]blocking.Block, nBlocks)}
+	for i := range c.Blocks {
+		c.Blocks[i] = blocking.Block{
+			Key: fmt.Sprintf("name-%06d", i),
+			E1:  []kb.EntityID{0},
+			E2:  []kb.EntityID{kb.EntityID(i % 4)},
+		}
+	}
+	return c
+}
+
+func TestBuildAlphaDeduplicates(t *testing.T) {
+	g := &Graph{Alpha1: make([][]kb.EntityID, 1), Alpha2: make([][]kb.EntityID, 4)}
+	g.buildAlpha(Input{NameBlocks: uniqueNameBlocks(100)})
+	if want := []kb.EntityID{0, 1, 2, 3}; !reflect.DeepEqual(g.Alpha1[0], want) {
+		t.Errorf("Alpha1[0] = %v, want sorted deduped %v", g.Alpha1[0], want)
+	}
+	for j := range g.Alpha2 {
+		if !reflect.DeepEqual(g.Alpha2[j], []kb.EntityID{0}) {
+			t.Errorf("Alpha2[%d] = %v, want [0]", j, g.Alpha2[j])
+		}
+	}
+}
+
+// Benchmark guard for the sort+compact alpha construction: with appendUnique
+// this was O(nBlocks²) per hot entity (≈10⁸ comparisons at 10k blocks);
+// sorted+compact keeps it O(n log n). A regression shows up as a
+// catastrophic ns/op jump.
+func BenchmarkBuildAlphaSkewedNames(b *testing.B) {
+	in := Input{NameBlocks: uniqueNameBlocks(10000)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := &Graph{Alpha1: make([][]kb.EntityID, 1), Alpha2: make([][]kb.EntityID, 4)}
+		g.buildAlpha(in)
+	}
+}
+
+// BuildShardedCtx must reproduce BuildCtx exactly: α, β, γ2 in the returned
+// graph, and the scope's per-shard γ1 rows concatenated in span order must
+// equal the monolithic Gamma1 for every shard plan.
+func TestBuildShardedMatchesMonolithic(t *testing.T) {
+	w, d := testkb.Figure1()
+	in := InputFor(seq, w, d, 2, 5, 2)
+	want := Build(seq, in)
+	for _, p := range []int{1, 2, 3, 16} {
+		shards := parallel.New(p).Partitions(w.Len())
+		g, scope, err := BuildShardedCtx(context.Background(), seq, in, shards)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(g.Alpha1, want.Alpha1) || !reflect.DeepEqual(g.Alpha2, want.Alpha2) {
+			t.Errorf("p=%d: alpha differs", p)
+		}
+		if !reflect.DeepEqual(g.Beta1, want.Beta1) || !reflect.DeepEqual(g.Beta2, want.Beta2) {
+			t.Errorf("p=%d: beta differs", p)
+		}
+		if !reflect.DeepEqual(g.Gamma2, want.Gamma2) {
+			t.Errorf("p=%d: gamma2 differs", p)
+		}
+		if g.Gamma1 != nil {
+			t.Errorf("p=%d: sharded graph materialized Gamma1", p)
+		}
+		gamma1 := make([][]Edge, 0, w.Len())
+		for _, s := range shards {
+			rows, err := scope.BuildSpan(context.Background(), s)
+			if err != nil {
+				t.Fatalf("p=%d span %v: %v", p, s, err)
+			}
+			gamma1 = append(gamma1, rows...)
+		}
+		if !reflect.DeepEqual(gamma1, want.Gamma1) {
+			t.Errorf("p=%d: concatenated gamma1 rows differ", p)
+		}
 	}
 }
 

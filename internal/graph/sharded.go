@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"context"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// BuildShardedCtx is the shard-friendly variant of BuildCtx: it constructs
+// the α edges, both β directions and the E2-side γ lists exactly as the
+// monolithic builder does, but computes the E1 β rows one contiguous shard
+// at a time and leaves Gamma1 EMPTY. Instead of materializing the full
+// E1-side γ lists — the largest per-node structure the monolithic graph
+// retains — it returns a Gamma1Scope from which callers pull γ rows one
+// shard at a time (BuildSpan) and drop them when the shard is matched.
+//
+// Per-row computations are identical to BuildCtx, so for every shard plan
+// the α/β/γ values observed by the matcher are byte-identical to the
+// monolithic graph; only their lifetime differs. Peak memory is bounded
+// further by sequencing the two γ adjacencies: the E2-side merged adjacency
+// and reverse top-neighbor index are released before the E1-side ones are
+// built, where BuildCtx holds all four simultaneously.
+func BuildShardedCtx(ctx context.Context, e *parallel.Engine, in Input, shards []parallel.Span) (*Graph, *Gamma1Scope, error) {
+	g := &Graph{
+		Alpha1: make([][]kb.EntityID, in.K1.Len()),
+		Alpha2: make([][]kb.EntityID, in.K2.Len()),
+	}
+	ce := e.Chunked()
+	ix := resolveIndex(in)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	g.buildAlpha(in)
+
+	// β: the E2 direction in one pass (it is needed in full by both γ
+	// directions and by R2/R4), the E1 direction shard by shard so the
+	// transient accumulation state of one shard is released before the next
+	// begins. Rows land in the same positions a full-range pass would fill.
+	beta2, err := buildBeta(ctx, ce, ix, in.K2, false, in.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.Beta2 = beta2
+	g.Beta1 = make([][]Edge, in.K1.Len())
+	for _, s := range shards {
+		rows, err := buildBetaSpan(ctx, ce, ix, in.K1, true, in.K, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(g.Beta1[s.Lo:s.Hi], rows)
+	}
+
+	// γ, E2 side: build its adjacency and reverse index, compute, and let
+	// both die before the E1-side adjacency is allocated below.
+	adj2 := mergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
+	in1 := stats.TopInNeighbors(in.Top1)
+	gamma2, err := gammaRows(ctx, ce, parallel.Span{Lo: 0, Hi: in.K2.Len()}, in.Top2, adj2, in1, in.K)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.Gamma2 = gamma2
+
+	scope := &Gamma1Scope{
+		eng:  ce,
+		top1: in.Top1,
+		adj1: mergeAdjacency(g.Beta1, g.Beta2, in.K1.Len()),
+		in2:  stats.TopInNeighbors(in.Top2),
+		k:    in.K,
+	}
+	return g, scope, nil
+}
+
+// Gamma1Scope holds the shared inputs of E1-side γ construction — the merged
+// undirected β adjacency and the reverse top-neighbor index of E2 — so γ
+// rows can be produced shard at a time long after BuildShardedCtx returned
+// (the sharded matcher interleaves them with rule R3). The scope is
+// read-only after construction and safe for sequential reuse across shards.
+type Gamma1Scope struct {
+	eng  *parallel.Engine
+	top1 [][]kb.EntityID
+	adj1 [][]Edge
+	in2  [][]kb.EntityID
+	k    int
+}
+
+// BuildSpan computes the γ rows of one contiguous E1 shard: s.Len() rows,
+// row i describing entity s.Lo+i, identical to what BuildCtx would have
+// stored in Graph.Gamma1[s.Lo:s.Hi].
+func (sc *Gamma1Scope) BuildSpan(ctx context.Context, s parallel.Span) ([][]Edge, error) {
+	return gammaRows(ctx, sc.eng, s, sc.top1, sc.adj1, sc.in2, sc.k)
+}

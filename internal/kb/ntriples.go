@@ -2,6 +2,7 @@ package kb
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -38,6 +39,29 @@ var (
 // skipped. It returns the built KB and the number of skipped lines.
 func LoadNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
 	b := NewBuilder(name)
+	skipped, err := ReadNTriples(b, r, lenient)
+	if err != nil {
+		return nil, skipped, wrapLoadErr(name, err)
+	}
+	return b.Build(), skipped, nil
+}
+
+// wrapLoadErr attributes a loader error to the KB being loaded, so a caller
+// reading several inputs can tell which one failed. Parse errors already
+// carry line context and pass through unchanged.
+func wrapLoadErr(name string, err error) error {
+	var pe *ParseError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return fmt.Errorf("kb: %s: %w", name, err)
+}
+
+// ReadNTriples scans N-Triples statements from r into any TripleSink — the
+// loader core shared by the two-pass (LoadNTriples) and streaming
+// (StreamNTriples) construction paths. It returns the number of skipped
+// malformed lines (lenient mode) or the first *ParseError.
+func ReadNTriples(sink TripleSink, r io.Reader, lenient bool) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	skipped := 0
@@ -54,19 +78,19 @@ func LoadNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
 				skipped++
 				continue
 			}
-			return nil, skipped, &ParseError{Line: lineNo, Text: line, Err: err}
+			return skipped, &ParseError{Line: lineNo, Text: line, Err: err}
 		}
-		id := b.AddEntity(subj)
+		id := sink.AddEntity(subj)
 		if objIsURI {
-			b.AddObject(id, pred, obj)
+			sink.AddObject(id, pred, obj)
 		} else {
-			b.AddLiteral(id, pred, obj)
+			sink.AddLiteral(id, pred, obj)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, skipped, fmt.Errorf("kb: reading %s: %w", name, err)
+		return skipped, fmt.Errorf("reading n-triples: %w", err)
 	}
-	return b.Build(), skipped, nil
+	return skipped, nil
 }
 
 // parseNTLine parses one N-Triples statement into its three terms.
@@ -187,6 +211,16 @@ func parseLiteral(s string) (string, error) {
 // is a literal. Returns the KB and the number of skipped malformed rows.
 func LoadTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
 	b := NewBuilder(name)
+	skipped, err := ReadTSV(b, r, uriObjects)
+	if err != nil {
+		return nil, skipped, wrapLoadErr(name, err)
+	}
+	return b.Build(), skipped, nil
+}
+
+// ReadTSV scans tab-separated subject/predicate/object rows from r into any
+// TripleSink, returning the number of skipped malformed rows.
+func ReadTSV(sink TripleSink, r io.Reader, uriObjects bool) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	skipped := 0
@@ -200,17 +234,17 @@ func LoadTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
 			skipped++
 			continue
 		}
-		id := b.AddEntity(parts[0])
+		id := sink.AddEntity(parts[0])
 		if uriObjects {
-			b.AddObject(id, parts[1], parts[2])
+			sink.AddObject(id, parts[1], parts[2])
 		} else {
-			b.AddLiteral(id, parts[1], parts[2])
+			sink.AddLiteral(id, parts[1], parts[2])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, skipped, fmt.Errorf("kb: reading %s: %w", name, err)
+		return skipped, fmt.Errorf("reading tsv: %w", err)
 	}
-	return b.Build(), skipped, nil
+	return skipped, nil
 }
 
 // WriteNTriples serializes the KB in N-Triples format, one statement per

@@ -1,0 +1,180 @@
+package kb
+
+import (
+	"cmp"
+	"io"
+	"slices"
+)
+
+// TripleSink consumes raw (subject, predicate, object) statements. Both
+// Builder and StreamBuilder implement it, so every loader (N-Triples, TSV)
+// can feed either the two-pass or the streaming construction path.
+type TripleSink interface {
+	// AddEntity registers (or finds) the entity with the given URI.
+	AddEntity(uri string) EntityID
+	// AddLiteral attaches a literal attribute-value pair.
+	AddLiteral(id EntityID, attribute, value string)
+	// AddObject attaches a URI-position object that becomes a relation if
+	// the URI names a described entity.
+	AddObject(id EntityID, predicate, objectURI string)
+}
+
+var (
+	_ TripleSink = (*Builder)(nil)
+	_ TripleSink = (*StreamBuilder)(nil)
+)
+
+// StreamBuilder is the memory-bounded construction path for large KB loads:
+// where Builder queues EVERY raw statement until Build (so the whole input
+// is resident twice — once as pending triples, once as the growing KB),
+// StreamBuilder processes statements as they arrive. Literal values are
+// tokenized and interned immediately, attributes and resolvable relations
+// land in their entity directly, and only object statements whose URI is not
+// yet known (forward references) are parked until Build. For typical Web KB
+// dumps that makes the extra working set proportional to the forward
+// references instead of the file size.
+//
+// Semantics match Builder with one documented difference: statements
+// resolved at Build time (forward-referenced relations, and object URIs that
+// never resolve and demote to literals) are appended after the entity's
+// in-order statements instead of at their original statement position.
+// Every pipeline statistic is insensitive to that order — token sets are
+// sorted, neighbor/relation aggregates are set-valued, and name blocks key
+// on values — so resolution output is unchanged (tested property).
+type StreamBuilder struct {
+	name     string
+	entities []Description
+	byURI    map[string]EntityID
+	dict     *Interner
+	tok      *Tokenizer
+	// toks accumulates the interned token IDs of each entity's literal
+	// values, duplicates included; Build deduplicates once per entity.
+	toks [][]TokenID
+	// deferred holds only the object statements whose URI was unknown when
+	// they arrived — the bounded carry-over of the streaming path.
+	deferred []rawTriple
+	triples  int
+}
+
+// NewStreamBuilder returns a StreamBuilder with its own token dictionary.
+func NewStreamBuilder(name string) *StreamBuilder {
+	return NewStreamBuilderWithInterner(name, NewInterner())
+}
+
+// NewStreamBuilderWithInterner returns a StreamBuilder interning into the
+// given shared dictionary, the same pairing contract as
+// NewBuilderWithInterner.
+func NewStreamBuilderWithInterner(name string, dict *Interner) *StreamBuilder {
+	if dict == nil {
+		dict = NewInterner()
+	}
+	return &StreamBuilder{
+		name:  name,
+		byURI: make(map[string]EntityID),
+		dict:  dict,
+		tok:   NewTokenizer(),
+	}
+}
+
+// AddEntity registers (or finds) the entity with the given URI.
+func (b *StreamBuilder) AddEntity(uri string) EntityID {
+	if id, ok := b.byURI[uri]; ok {
+		return id
+	}
+	id := EntityID(len(b.entities))
+	b.entities = append(b.entities, Description{URI: uri})
+	b.byURI[uri] = id
+	b.toks = append(b.toks, nil)
+	return id
+}
+
+// AddLiteral attaches a literal attribute-value pair, tokenizing and
+// interning the value immediately.
+func (b *StreamBuilder) AddLiteral(id EntityID, attribute, value string) {
+	b.entities[id].Attrs = append(b.entities[id].Attrs, AttributeValue{Attribute: attribute, Value: value})
+	b.internValue(id, value)
+	b.triples++
+}
+
+// AddObject attaches an object (URI-position) value. If the URI already
+// names a described entity the relation is recorded immediately; otherwise
+// the statement is parked until Build, when the full URI table exists.
+func (b *StreamBuilder) AddObject(id EntityID, predicate, objectURI string) {
+	if obj, ok := b.byURI[objectURI]; ok {
+		b.entities[id].Relations = append(b.entities[id].Relations, Relation{Predicate: predicate, Object: obj})
+		b.triples++
+		return
+	}
+	b.deferred = append(b.deferred, rawTriple{id, predicate, objectURI, true})
+}
+
+// Len returns the number of entities registered so far.
+func (b *StreamBuilder) Len() int { return len(b.entities) }
+
+// Deferred returns the number of forward-referenced object statements
+// currently parked — the streaming path's only input-proportional carry-over.
+func (b *StreamBuilder) Deferred() int { return len(b.deferred) }
+
+// internValue folds one literal value's tokens into the entity's running
+// token-ID list.
+func (b *StreamBuilder) internValue(id EntityID, value string) {
+	for _, t := range b.tok.Tokens(value) {
+		b.toks[id] = append(b.toks[id], b.dict.Intern(t))
+	}
+}
+
+// Build resolves the parked forward references, finalizes each entity's
+// deduplicated string-ordered token list, and returns the immutable KB. The
+// StreamBuilder must not be used afterwards.
+func (b *StreamBuilder) Build() *KB {
+	for _, t := range b.deferred {
+		d := &b.entities[t.subject]
+		if obj, ok := b.byURI[t.object]; ok {
+			d.Relations = append(d.Relations, Relation{Predicate: t.predicate, Object: obj})
+		} else {
+			// Never resolved: the URI is a plain literal value after all.
+			d.Attrs = append(d.Attrs, AttributeValue{Attribute: t.predicate, Value: t.object})
+			b.internValue(t.subject, t.object)
+		}
+		b.triples++
+	}
+	for i := range b.entities {
+		ids := b.toks[i]
+		// Deduplicate and order by token STRING — the invariant Description
+		// documents and Builder establishes via the sorted TokenSet.
+		slices.SortFunc(ids, func(a, c TokenID) int {
+			return cmp.Compare(b.dict.TokenString(a), b.dict.TokenString(c))
+		})
+		b.entities[i].tokens = slices.Compact(ids)
+		b.entities[i].dict = b.dict
+	}
+	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, dict: b.dict, triples: b.triples}
+	b.entities = nil
+	b.byURI = nil
+	b.toks = nil
+	b.deferred = nil
+	return kb
+}
+
+// StreamNTriples reads a KB in N-Triples format through the streaming
+// construction path: tokens are interned incrementally statement by
+// statement instead of after a whole-file pass. Semantics match LoadNTriples
+// (see StreamBuilder for the ordering caveat on forward references).
+func StreamNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
+	b := NewStreamBuilder(name)
+	skipped, err := ReadNTriples(b, r, lenient)
+	if err != nil {
+		return nil, skipped, wrapLoadErr(name, err)
+	}
+	return b.Build(), skipped, nil
+}
+
+// StreamTSV is LoadTSV through the streaming construction path.
+func StreamTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
+	b := NewStreamBuilder(name)
+	skipped, err := ReadTSV(b, r, uriObjects)
+	if err != nil {
+		return nil, skipped, wrapLoadErr(name, err)
+	}
+	return b.Build(), skipped, nil
+}

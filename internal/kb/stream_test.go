@@ -1,0 +1,180 @@
+package kb
+
+import (
+	"errors"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// streamFixture exercises every streaming edge: backward references
+// (resolved eagerly), forward references (parked until Build), object URIs
+// that never resolve (demoted to literals and tokenized), duplicate tokens
+// across values, and a malformed line for the lenient counter.
+const streamFixture = `# fixture
+<e:a> <label> "Alpha One" .
+<e:a> <linked> <e:b> .
+<e:b> <label> "Beta two ALPHA" .
+<e:b> <linked> <e:a> .
+<e:b> <seeAlso> <http://nowhere.example/beta-page> .
+<e:c> <label> "gamma one" .
+<e:c> <label> "gamma again" .
+malformed line
+<e:c> <linked> <e:a> .
+`
+
+func loadBoth(t *testing.T, lenient bool) (*KB, *KB) {
+	t.Helper()
+	two, skipped2, err := LoadNTriples("two-pass", strings.NewReader(streamFixture), lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, skipped1, err := StreamNTriples("streaming", strings.NewReader(streamFixture), lenient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped1 != skipped2 || skipped1 != 1 {
+		t.Fatalf("skipped = %d (stream) vs %d (two-pass), want 1", skipped1, skipped2)
+	}
+	return two, one
+}
+
+// The streaming path must produce a KB semantically identical to the
+// two-pass Builder: same entities, token sets, relation multisets, triple
+// counts. (Statement ORDER of Build-time resolutions may differ — that is
+// the documented streaming trade — so multiset comparisons are used where
+// order is not guaranteed.)
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	two, one := loadBoth(t, true)
+	if one.Len() != two.Len() || one.Triples() != two.Triples() {
+		t.Fatalf("stream KB = %v, two-pass KB = %v", one, two)
+	}
+	for id := 0; id < two.Len(); id++ {
+		dt, ds := two.Entity(EntityID(id)), one.Entity(EntityID(id))
+		if dt.URI != ds.URI {
+			t.Fatalf("entity %d: URI %q vs %q", id, dt.URI, ds.URI)
+		}
+		if got, want := ds.Tokens(), dt.Tokens(); !reflect.DeepEqual(got, want) {
+			t.Errorf("entity %s: tokens %v, want %v", dt.URI, got, want)
+		}
+		gotRel, wantRel := slices.Clone(ds.Relations), slices.Clone(dt.Relations)
+		sortRels := func(rs []Relation) {
+			slices.SortFunc(rs, func(a, b Relation) int {
+				if a.Predicate != b.Predicate {
+					return strings.Compare(a.Predicate, b.Predicate)
+				}
+				return int(a.Object - b.Object)
+			})
+		}
+		sortRels(gotRel)
+		sortRels(wantRel)
+		if !reflect.DeepEqual(gotRel, wantRel) {
+			t.Errorf("entity %s: relations %v, want %v", dt.URI, gotRel, wantRel)
+		}
+		gotAttrs, wantAttrs := slices.Clone(ds.Attrs), slices.Clone(dt.Attrs)
+		sortAttrs := func(as []AttributeValue) {
+			slices.SortFunc(as, func(a, b AttributeValue) int {
+				if a.Attribute != b.Attribute {
+					return strings.Compare(a.Attribute, b.Attribute)
+				}
+				return strings.Compare(a.Value, b.Value)
+			})
+		}
+		sortAttrs(gotAttrs)
+		sortAttrs(wantAttrs)
+		if !reflect.DeepEqual(gotAttrs, wantAttrs) {
+			t.Errorf("entity %s: attrs %v, want %v", dt.URI, gotAttrs, wantAttrs)
+		}
+	}
+}
+
+// Token IDs must come out ordered by token string — the Description
+// invariant every accumulation stage depends on.
+func TestStreamBuilderTokenOrderInvariant(t *testing.T) {
+	_, one := loadBoth(t, true)
+	for id := 0; id < one.Len(); id++ {
+		d := one.Entity(EntityID(id))
+		toks := d.Tokens()
+		if !slices.IsSorted(toks) {
+			t.Errorf("entity %s: tokens not string-sorted: %v", d.URI, toks)
+		}
+		if len(slices.Compact(slices.Clone(d.TokenIDs()))) != len(d.TokenIDs()) {
+			t.Errorf("entity %s: duplicate token IDs: %v", d.URI, d.TokenIDs())
+		}
+	}
+}
+
+// Forward references must be parked, not dropped: before Build the deferred
+// count reflects unresolved URIs, after Build they are relations.
+func TestStreamBuilderDeferredResolution(t *testing.T) {
+	b := NewStreamBuilder("fw")
+	a := b.AddEntity("e:a")
+	b.AddObject(a, "linked", "e:later") // forward reference
+	b.AddObject(a, "seeAlso", "e:never")
+	if b.Deferred() != 2 {
+		t.Fatalf("deferred = %d, want 2", b.Deferred())
+	}
+	b.AddEntity("e:later")
+	k := b.Build()
+	d := k.Entity(a)
+	if len(d.Relations) != 1 || d.Relations[0].Predicate != "linked" {
+		t.Errorf("forward reference not resolved: %+v", d.Relations)
+	}
+	if len(d.Attrs) != 1 || d.Attrs[0].Attribute != "seeAlso" {
+		t.Errorf("unresolved URI not demoted to literal: %+v", d.Attrs)
+	}
+	if !d.HasToken("never") {
+		t.Error("demoted literal was not tokenized")
+	}
+	if k.Triples() != 2 {
+		t.Errorf("triples = %d, want 2", k.Triples())
+	}
+}
+
+// Two stream-built KBs over one shared Interner live in one token-ID space,
+// like NewBuilderWithInterner.
+func TestStreamBuilderSharedInterner(t *testing.T) {
+	dict := NewInterner()
+	b1 := NewStreamBuilderWithInterner("s1", dict)
+	e1 := b1.AddEntity("a")
+	b1.AddLiteral(e1, "label", "shared token")
+	b2 := NewStreamBuilderWithInterner("s2", dict)
+	e2 := b2.AddEntity("b")
+	b2.AddLiteral(e2, "label", "token shared")
+	k1, k2 := b1.Build(), b2.Build()
+	if k1.TokenDict() != k2.TokenDict() {
+		t.Fatal("dictionaries not shared")
+	}
+	if !reflect.DeepEqual(k1.Entity(0).TokenIDs(), k2.Entity(0).TokenIDs()) {
+		t.Errorf("shared-interner token IDs differ: %v vs %v",
+			k1.Entity(0).TokenIDs(), k2.Entity(0).TokenIDs())
+	}
+}
+
+func TestStreamTSV(t *testing.T) {
+	const tsv = "a\tp\tb\nb\tp\tv\nbad row\n"
+	two, s2, err := LoadTSV("two", strings.NewReader(tsv), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, s1, err := StreamTSV("one", strings.NewReader(tsv), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || one.Len() != two.Len() || one.Triples() != two.Triples() {
+		t.Errorf("StreamTSV (%v, skipped %d) != LoadTSV (%v, skipped %d)", one, s1, two, s2)
+	}
+}
+
+// Strict mode surfaces the same parse error through the streaming reader.
+func TestStreamNTriplesStrict(t *testing.T) {
+	_, _, err := StreamNTriples("x", strings.NewReader("not a triple\n"), false)
+	if err == nil {
+		t.Fatal("strict streaming load accepted a malformed line")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+}

@@ -144,15 +144,21 @@ func RunCtx(ctx context.Context, e *parallel.Engine, g *graph.Graph, k1, k2 *kb.
 		}
 		m.matches = kept
 	}
-	sort.Slice(m.matches, func(i, j int) bool {
-		a, b := m.matches[i].Pair, m.matches[j].Pair
+	sortMatches(m.matches)
+	res.Matches = m.matches
+	return res, nil
+}
+
+// sortMatches orders matches by (E1, E2) — the canonical output order shared
+// by the monolithic and sharded runners.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Pair, ms[j].Pair
 		if a.E1 != b.E1 {
 			return a.E1 < b.E1
 		}
 		return a.E2 < b.E2
 	})
-	res.Matches = m.matches
-	return res, nil
 }
 
 // Run is RunCtx without cancellation.
@@ -238,27 +244,13 @@ func (m *matcher) runR2(ctx context.Context) error {
 //
 // Aggregation is parallel per node; commits are sequential in entity order.
 func (m *matcher) runR3(ctx context.Context) error {
-	type pick struct {
-		to    kb.EntityID
-		score float64
-	}
 	pick1, err := parallel.MapCtx(ctx, m.eng, m.k1.Len(), func(i int) (pick, error) {
-		if m.matched1[i] {
-			return pick{to: kb.NoEntity}, nil
-		}
-		to, score := m.aggregate(m.g.Beta1[i], m.g.Gamma1[i])
-		return pick{to, score}, nil
+		return m.pick1At(i, m.g.Gamma1[i]), nil
 	})
 	if err != nil {
 		return err
 	}
-	pick2, err := parallel.MapCtx(ctx, m.eng, m.k2.Len(), func(j int) (pick, error) {
-		if m.matched2[j] {
-			return pick{to: kb.NoEntity}, nil
-		}
-		to, score := m.aggregate(m.g.Beta2[j], m.g.Gamma2[j])
-		return pick{to, score}, nil
-	})
+	pick2, err := m.pick2All(ctx)
 	if err != nil {
 		return err
 	}
@@ -271,6 +263,37 @@ func (m *matcher) runR3(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// pick is one node's top aggregate candidate under R3 (NoEntity if the node
+// is already matched or has no candidates).
+type pick struct {
+	to    kb.EntityID
+	score float64
+}
+
+// pick1At computes the R3 pick of E1 node i with an explicitly supplied γ
+// candidate row — Gamma1[i] in the monolithic run, the shard-local row in
+// the sharded run.
+func (m *matcher) pick1At(i int, ngb []graph.Edge) pick {
+	if m.matched1[i] {
+		return pick{to: kb.NoEntity}
+	}
+	to, score := m.aggregate(m.g.Beta1[i], ngb)
+	return pick{to, score}
+}
+
+// pick2All computes the R3 picks of every E2 node against the post-R2
+// matched state. Both the monolithic and the sharded matcher take this exact
+// snapshot before any R3 commit.
+func (m *matcher) pick2All(ctx context.Context) ([]pick, error) {
+	return parallel.MapCtx(ctx, m.eng, m.k2.Len(), func(j int) (pick, error) {
+		if m.matched2[j] {
+			return pick{to: kb.NoEntity}, nil
+		}
+		to, score := m.aggregate(m.g.Beta2[j], m.g.Gamma2[j])
+		return pick{to, score}, nil
+	})
 }
 
 // aggregate fuses the two ranked candidate lists of one node and returns the

@@ -1,0 +1,121 @@
+package matching
+
+import (
+	"context"
+	"fmt"
+
+	"minoaner/internal/eval"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+)
+
+// GammaFor supplies the E1-side γ candidate rows of one contiguous entity
+// shard on demand (graph.Gamma1Scope.BuildSpan behind a timing/accounting
+// wrapper in the core pipeline). The returned slice must hold s.Len() rows,
+// row i describing entity s.Lo+i. RunShardedCtx calls it exactly once per
+// shard, in shard order, and drops the rows before requesting the next
+// shard — that single-shard lifetime is what bounds the matcher's memory.
+type GammaFor func(ctx context.Context, s parallel.Span) ([][]graph.Edge, error)
+
+// RunShardedCtx executes Algorithm 2 over a graph built by
+// graph.BuildShardedCtx, whose Gamma1 lists are not materialized: the γ rows
+// of each E1 shard are pulled from gammaFor when rule R3 reaches the shard
+// and released right after the shard's rank-aggregation picks and R4
+// reciprocity evidence have been extracted.
+//
+// shards must be the same partition of [0, k1.Len()) into contiguous
+// ascending spans that built the graph. The rule structure keeps the output
+// byte-identical to RunCtx on the equivalent monolithic graph for EVERY
+// shard plan: R1 and R2 are global passes exactly as in RunCtx; R3 takes its
+// E2-side pick snapshot before any R3 commit and then processes E1 entities
+// in ascending order (shards are ascending, commits inside a shard are
+// ascending); R4 evaluates the same reciprocity predicate, with the γ
+// membership bit captured while the shard's rows were live.
+func RunShardedCtx(ctx context.Context, e *parallel.Engine, g *graph.Graph, k1, k2 *kb.KB, cfg Config, shards []parallel.Span, gammaFor GammaFor) (*Result, error) {
+	m := &matcher{
+		g: g, k1: k1, k2: k2, cfg: cfg, eng: e.Chunked(),
+		matched1: make([]bool, k1.Len()),
+		matched2: make([]bool, k2.Len()),
+	}
+	if cfg.EnableR1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m.runR1()
+	}
+	if cfg.EnableR2 {
+		if err := m.runR2(ctx); err != nil {
+			return nil, err
+		}
+	}
+	var pick2 []pick
+	if cfg.EnableR3 {
+		var err error
+		if pick2, err = m.pick2All(ctx); err != nil {
+			return nil, err
+		}
+	}
+	// gammaHas[idx] records, for match idx, whether the directed γ edge
+	// E1→E2 exists — evaluated while the γ rows of the match's shard are
+	// live, standing in for the Gamma1 leg of HasDirectedEdge1.
+	var gammaHas []bool
+	for _, s := range shards {
+		rows, err := gammaFor(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != s.Len() {
+			return nil, fmt.Errorf("matching: gammaFor returned %d rows for shard [%d,%d)", len(rows), s.Lo, s.Hi)
+		}
+		if cfg.EnableR3 {
+			picks, err := parallel.MapCtx(ctx, m.eng, s.Len(), func(i int) (pick, error) {
+				return m.pick1At(s.Lo+i, rows[i]), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, p := range picks {
+				if p.to == kb.NoEntity {
+					continue
+				}
+				if back := pick2[p.to]; back.to == kb.EntityID(s.Lo+i) {
+					m.commit(eval.Pair{E1: kb.EntityID(s.Lo + i), E2: p.to}, RuleRank)
+				}
+			}
+		}
+		if cfg.EnableR4 {
+			// Every match whose E1 endpoint lies in this shard — including
+			// R1/R2 matches committed before the shard loop and R3 matches
+			// committed just above — gets its γ membership bit now.
+			for len(gammaHas) < len(m.matches) {
+				gammaHas = append(gammaHas, false)
+			}
+			for idx := range m.matches {
+				p := m.matches[idx].Pair
+				if int(p.E1) >= s.Lo && int(p.E1) < s.Hi {
+					gammaHas[idx] = graph.EdgeListContains(rows[int(p.E1)-s.Lo], p.E2)
+				}
+			}
+		}
+	}
+	res := &Result{}
+	if cfg.EnableR4 {
+		for len(gammaHas) < len(m.matches) {
+			gammaHas = append(gammaHas, false)
+		}
+		kept := m.matches[:0]
+		for idx, match := range m.matches {
+			p := match.Pair
+			if (m.g.HasDirectedEdge1NoGamma(p.E1, p.E2) || gammaHas[idx]) && m.g.HasDirectedEdge2(p.E2, p.E1) {
+				kept = append(kept, match)
+			} else {
+				res.RemovedByR4++
+			}
+		}
+		m.matches = kept
+	}
+	sortMatches(m.matches)
+	res.Matches = m.matches
+	return res, nil
+}

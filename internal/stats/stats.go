@@ -186,48 +186,64 @@ func GlobalRelationOrder(stats []RelationStat) map[string]int {
 // Algorithm 1, lines 36–43). Neighbor lists are deduplicated and sorted by
 // entity ID.
 func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order map[string]int, n int) ([][]kb.EntityID, error) {
+	return TopNeighborsSpanCtx(ctx, e, k, order, n, parallel.Span{Lo: 0, Hi: k.Len()})
+}
+
+// TopNeighborsSpanCtx computes the top-neighbor rows for one contiguous
+// entity span only, returning s.Len() rows (row i describes entity s.Lo+i).
+// Rows are computed independently per entity, so concatenating the rows of a
+// partition of [0, |E|) in span order reproduces TopNeighborsCtx exactly —
+// the property the sharded pipeline relies on to bound the transient state
+// of statistics extraction per shard.
+func TopNeighborsSpanCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order map[string]int, n int, s parallel.Span) ([][]kb.EntityID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if n <= 0 {
-		return make([][]kb.EntityID, k.Len()), nil
+		return make([][]kb.EntityID, s.Len()), nil
 	}
-	return parallel.MapCtx(ctx, e, k.Len(), func(i int) ([]kb.EntityID, error) {
-		d := k.Entity(kb.EntityID(i))
-		if len(d.Relations) == 0 {
-			return nil, nil
-		}
-		// localOrder(e): the entity's distinct relations sorted by the
-		// global importance order.
-		rels := make([]string, 0, len(d.Relations))
-		seen := make(map[string]bool, len(d.Relations))
-		for _, r := range d.Relations {
-			if !seen[r.Predicate] {
-				seen[r.Predicate] = true
-				rels = append(rels, r.Predicate)
-			}
-		}
-		slices.SortFunc(rels, func(a, b string) int { return cmp.Compare(order[a], order[b]) })
-		if len(rels) > n {
-			rels = rels[:n]
-		}
-		top := make(map[string]bool, len(rels))
-		for _, p := range rels {
-			top[p] = true
-		}
-		nset := make(map[kb.EntityID]struct{})
-		for _, r := range d.Relations {
-			if top[r.Predicate] {
-				nset[r.Object] = struct{}{}
-			}
-		}
-		out := make([]kb.EntityID, 0, len(nset))
-		for id := range nset {
-			out = append(out, id)
-		}
-		slices.Sort(out)
-		return out, nil
+	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]kb.EntityID, error) {
+		return topNeighborRow(k, order, n, s.Lo+i), nil
 	})
+}
+
+// topNeighborRow computes localOrder(e) and the resulting deduplicated,
+// ID-sorted top-neighbor list of one entity.
+func topNeighborRow(k *kb.KB, order map[string]int, n, i int) []kb.EntityID {
+	d := k.Entity(kb.EntityID(i))
+	if len(d.Relations) == 0 {
+		return nil
+	}
+	// localOrder(e): the entity's distinct relations sorted by the
+	// global importance order.
+	rels := make([]string, 0, len(d.Relations))
+	seen := make(map[string]bool, len(d.Relations))
+	for _, r := range d.Relations {
+		if !seen[r.Predicate] {
+			seen[r.Predicate] = true
+			rels = append(rels, r.Predicate)
+		}
+	}
+	slices.SortFunc(rels, func(a, b string) int { return cmp.Compare(order[a], order[b]) })
+	if len(rels) > n {
+		rels = rels[:n]
+	}
+	top := make(map[string]bool, len(rels))
+	for _, p := range rels {
+		top[p] = true
+	}
+	nset := make(map[kb.EntityID]struct{})
+	for _, r := range d.Relations {
+		if top[r.Predicate] {
+			nset[r.Object] = struct{}{}
+		}
+	}
+	out := make([]kb.EntityID, 0, len(nset))
+	for id := range nset {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
 }
 
 // TopNeighbors is TopNeighborsCtx without cancellation.

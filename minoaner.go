@@ -78,15 +78,41 @@ func NewBuilderWithInterner(name string, dict *Interner) *Builder {
 	return kb.NewBuilderWithInterner(name, dict)
 }
 
+// StreamBuilder is the memory-bounded KB construction path: statements are
+// tokenized and interned as they arrive, and only forward-referenced object
+// statements are held until Build — instead of queueing the whole input.
+type StreamBuilder = kb.StreamBuilder
+
+// NewStreamBuilder starts a streaming KB build with the given display name.
+func NewStreamBuilder(name string) *StreamBuilder { return kb.NewStreamBuilder(name) }
+
+// NewStreamBuilderWithInterner starts a streaming KB build over a shared
+// token dictionary (see NewBuilderWithInterner).
+func NewStreamBuilderWithInterner(name string, dict *Interner) *StreamBuilder {
+	return kb.NewStreamBuilderWithInterner(name, dict)
+}
+
 // LoadNTriples reads a KB in N-Triples format; lenient skips malformed
 // lines instead of failing. It returns the KB and the skipped-line count.
 func LoadNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
 	return kb.LoadNTriples(name, r, lenient)
 }
 
+// StreamNTriples is LoadNTriples through the streaming construction path —
+// tokens are interned incrementally instead of after a whole-file pass, so
+// peak load memory tracks the KB, not the raw statement queue.
+func StreamNTriples(name string, r io.Reader, lenient bool) (*KB, int, error) {
+	return kb.StreamNTriples(name, r, lenient)
+}
+
 // LoadTSV reads a KB from tab-separated subject/predicate/object rows.
 func LoadTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
 	return kb.LoadTSV(name, r, uriObjects)
+}
+
+// StreamTSV is LoadTSV through the streaming construction path.
+func StreamTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
+	return kb.StreamTSV(name, r, uriObjects)
 }
 
 // WriteNTriples serializes a KB in N-Triples format.
@@ -127,9 +153,21 @@ func Resolve(k1, k2 *KB, cfg Config) (*Output, error) { return core.Resolve(k1, 
 
 // ResolveContext is Resolve under a context: the pipeline observes ctx
 // between parallel chunks and stage barriers, returning ctx.Err() promptly
-// on cancellation or deadline expiry.
+// on cancellation or deadline expiry. When cfg requests sharded execution
+// (Config.ShardCount or Config.MaxShardBytes), the run is delegated to the
+// partitioned engine — see ResolveSharded.
 func ResolveContext(ctx context.Context, k1, k2 *KB, cfg Config) (*Output, error) {
 	return core.ResolveContext(ctx, k1, k2, cfg)
+}
+
+// ResolveSharded runs the pipeline with E1 split into the given number of
+// contiguous entity shards: per-entity stages (top-neighbor rows, β/γ
+// candidate rows, rank aggregation) execute one shard at a time with bounded
+// transient memory over the shared blocking substrate. Output is
+// byte-identical to Resolve for every shard count; shards < 1 derives the
+// count from cfg.
+func ResolveSharded(ctx context.Context, k1, k2 *KB, cfg Config, shards int) (*Output, error) {
+	return core.ResolveSharded(ctx, k1, k2, cfg, shards)
 }
 
 // Pair is a cross-KB correspondence.

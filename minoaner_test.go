@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -114,6 +115,55 @@ func TestPublicAPIRuleAblation(t *testing.T) {
 		if m.Rule.String() != "R1" {
 			t.Errorf("R1-only config produced %v", m.Rule)
 		}
+	}
+}
+
+func TestPublicAPIResolveSharded(t *testing.T) {
+	p := ScaleProfile(RestaurantProfile(), 0.3)
+	d, err := GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Resolve(d.K1, d.K2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := ResolveSharded(context.Background(), d.K1, d.K2, DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded.Matches, ref.Matches) {
+		t.Error("ResolveSharded matches differ from Resolve")
+	}
+	cfg := DefaultConfig()
+	cfg.ShardCount = 3
+	routed, err := ResolveContext(context.Background(), d.K1, d.K2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(routed.Matches, ref.Matches) {
+		t.Error("ShardCount-routed ResolveContext matches differ from Resolve")
+	}
+}
+
+func TestPublicAPIStreamLoaders(t *testing.T) {
+	const nt = "<a> <label> \"hello world\" .\n<a> <linked> <b> .\n<b> <label> \"world two\" .\n"
+	k, skipped, err := StreamNTriples("s", strings.NewReader(nt), false)
+	if err != nil || skipped != 0 {
+		t.Fatalf("StreamNTriples: %v (skipped %d)", err, skipped)
+	}
+	if k.Len() != 2 || k.Triples() != 3 {
+		t.Errorf("stream KB = %v, want 2 entities / 3 triples", k)
+	}
+	k2, _, err := StreamTSV("t", strings.NewReader("a\tp\tv\n"), false)
+	if err != nil || k2.Len() != 1 {
+		t.Error("StreamTSV facade")
+	}
+	b := NewStreamBuilderWithInterner("x", NewInterner())
+	e := b.AddEntity("u")
+	b.AddLiteral(e, "p", "tok")
+	if b.Build().Len() != 1 {
+		t.Error("StreamBuilder facade")
 	}
 }
 
