@@ -11,7 +11,7 @@ CHECK_SCALE  ?= 0.25
 CHECK_SHARDS ?= 1,8
 TOLERANCE    ?= 3.0
 
-.PHONY: build test race fmt vet lint cover bench bench-test smoke bench-check bench-baseline
+.PHONY: build test race fmt vet lint cover bench bench-test smoke bench-check bench-baseline profile
 
 build:
 	go build ./...
@@ -63,3 +63,10 @@ bench-check:
 bench-baseline:
 	go run ./cmd/experiments -bench -scale $(CHECK_SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
 		-benchout BENCH_baseline.json
+
+# profile emits pprof CPU and heap profiles for one preset pipeline run
+# (inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`).
+PROFILE_DATASET ?= Rexa-DBLP
+profile:
+	go run ./cmd/experiments -bench -datasets $(PROFILE_DATASET) -scale $(SCALE) -reps $(REPS) \
+		-benchout /tmp/bench-profile.json -cpuprofile cpu.pprof -memprofile mem.pprof

@@ -21,6 +21,7 @@ package minoaner
 // artifacts at full preset scale and prints the formatted tables.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -33,6 +34,7 @@ import (
 	"minoaner/internal/graph"
 	"minoaner/internal/matching"
 	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
 )
 
 // benchScale shrinks the presets for the table/figure benchmarks.
@@ -242,6 +244,75 @@ func BenchmarkStageMatching(b *testing.B) {
 		res := matching.Run(eng, g, d.K1, d.K2, cfg)
 		if len(res.Matches) == 0 {
 			b.Fatal("no matches")
+		}
+	}
+}
+
+// Statistics sub-stage benchmarks — the §4.1 pre-processing passes the
+// columnar predicate/attribute substrate keeps as fast as blocking. Each is
+// a committed guard for one flat counting pass: relation importances,
+// attribute importances, top-neighbor extraction and the in-neighbor
+// reversal.
+
+func benchStatsKB(b *testing.B) *datagen.Dataset {
+	b.Helper()
+	d, err := datagen.Generate(datagen.Scale(datagen.RexaDBLP(), 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkStatisticsRelationImportances(b *testing.B) {
+	d := benchStatsKB(b)
+	eng := parallel.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ri := stats.RelationImportances(eng, d.K2); len(ri) == 0 {
+			b.Fatal("no relation stats")
+		}
+	}
+}
+
+func BenchmarkStatisticsAttributeImportances(b *testing.B) {
+	d := benchStatsKB(b)
+	eng := parallel.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if as := stats.AttributeImportances(eng, d.K2); len(as) == 0 {
+			b.Fatal("no attribute stats")
+		}
+	}
+}
+
+func BenchmarkStatisticsTopNeighbors(b *testing.B) {
+	d := benchStatsKB(b)
+	eng := parallel.New(0)
+	ranks := stats.RelationRanks(d.K2, stats.RelationImportances(eng, d.K2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, err := stats.TopNeighborsRanksCtx(context.Background(), eng, d.K2, ranks, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(top) != d.K2.Len() {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkStatisticsTopInNeighbors(b *testing.B) {
+	d := benchStatsKB(b)
+	eng := parallel.New(0)
+	ranks := stats.RelationRanks(d.K2, stats.RelationImportances(eng, d.K2))
+	top, err := stats.TopNeighborsRanksCtx(context.Background(), eng, d.K2, ranks, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if in := stats.TopInNeighbors(top); len(in) != len(top) {
+			b.Fatal("wrong row count")
 		}
 	}
 }

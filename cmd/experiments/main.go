@@ -14,14 +14,19 @@
 //	experiments -bench -scale 0.25 -check BENCH_baseline.json
 //	                                  # CI regression gate: fail on >2× stage
 //	                                  # regression against the committed baseline
+//	experiments -bench -datasets Rexa-DBLP -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                                  # pprof CPU/heap profiles of one preset run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"minoaner/internal/experiments"
@@ -42,8 +47,52 @@ func main() {
 		shardsCSV = flag.String("shards", "", "comma-separated shard counts to benchmark with ResolveSharded (with -bench)")
 		check     = flag.String("check", "", "baseline BENCH JSON to gate against (implies -bench; exit 1 on regression)")
 		tolerance = flag.Float64("tolerance", 2.0, "bench-check failure ratio: fail when a stage exceeds baseline×tolerance")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
+	// Profiles flush through flushProfiles so that error exits (exitOn →
+	// os.Exit, which skips defers) still produce complete, loadable files —
+	// e.g. a failing -check gate with -cpuprofile set.
+	if *cpuProf != "" || *memProf != "" {
+		var cpuFile *os.File
+		if *cpuProf != "" {
+			f, err := os.Create(*cpuProf)
+			exitOn(err)
+			exitOn(pprof.StartCPUProfile(f))
+			cpuFile = f
+		}
+		var once sync.Once
+		flushProfiles = func() {
+			once.Do(func() {
+				if cpuFile != nil {
+					pprof.StopCPUProfile()
+					if err := cpuFile.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "experiments:", err)
+						return
+					}
+					fmt.Printf("(CPU profile written to %s)\n", *cpuProf)
+				}
+				if *memProf != "" {
+					f, err := os.Create(*memProf)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "experiments:", err)
+						return
+					}
+					runtime.GC() // profile the live set, not allocator slack
+					if err := pprof.WriteHeapProfile(f); err == nil {
+						fmt.Printf("(heap profile written to %s)\n", *memProf)
+					} else {
+						fmt.Fprintln(os.Stderr, "experiments:", err)
+					}
+					if err := f.Close(); err != nil {
+						fmt.Fprintln(os.Stderr, "experiments:", err)
+					}
+				}
+			})
+		}
+		defer flushProfiles()
+	}
 	if *check != "" {
 		*bench = true
 	}
@@ -186,9 +235,14 @@ func parseShardCounts(csv string) ([]int, error) {
 	return out, nil
 }
 
+// flushProfiles finalizes any pprof profiles in flight; exitOn calls it
+// because os.Exit skips deferred calls. It is idempotent (sync.Once).
+var flushProfiles = func() {}
+
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -207,18 +207,18 @@ func SiGMa(e *parallel.Engine, k1, k2 *kb.KB, tokenBlocks *blocking.Collection, 
 // nameSeeds returns pairs whose normalized names collide uniquely across
 // the KBs (one holder per side).
 func nameSeeds(e *parallel.Engine, k1, k2 *kb.KB, nameK int) []eval.Pair {
-	n1 := stats.NameAttributes(e, k1, nameK)
-	n2 := stats.NameAttributes(e, k2, nameK)
+	nl1 := stats.NewNameLookup(k1, stats.NameAttributes(e, k1, nameK))
+	nl2 := stats.NewNameLookup(k2, stats.NameAttributes(e, k2, nameK))
 	names1 := make(map[string][]kb.EntityID)
 	for i := 0; i < k1.Len(); i++ {
-		for _, n := range stats.NamesOf(k1.Entity(kb.EntityID(i)), n1) {
+		for _, n := range nl1.Names(kb.EntityID(i)) {
 			names1[n] = append(names1[n], kb.EntityID(i))
 		}
 	}
 	var out []eval.Pair
 	names2 := make(map[string][]kb.EntityID)
 	for i := 0; i < k2.Len(); i++ {
-		for _, n := range stats.NamesOf(k2.Entity(kb.EntityID(i)), n2) {
+		for _, n := range nl2.Names(kb.EntityID(i)) {
 			names2[n] = append(names2[n], kb.EntityID(i))
 		}
 	}

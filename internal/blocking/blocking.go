@@ -117,16 +117,20 @@ func TokenBlocks(e *parallel.Engine, k1, k2 *kb.KB) *Collection {
 // NameBlocksCtx builds name blocking (§3.1, h_N): one block per normalized
 // name value under each KB's top-k name attributes. The matcher's R1 rule
 // uses only blocks of size 1×1 (a name unique in both KBs), but the full
-// collection is kept for Table 2 statistics.
+// collection is kept for Table 2 statistics. The name(e) evaluation goes
+// through one resolve-scoped stats.NameLookup per KB, built once before the
+// grouping pass instead of re-deriving the name-attribute set per entity.
 func NameBlocksCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) (*Collection, error) {
+	nl1 := stats.NewNameLookup(k1, nameAttrs1)
+	nl2 := stats.NewNameLookup(k2, nameAttrs2)
 	return buildCollection(ctx, e, k1, k2,
 		func(i int, yield func(string)) {
-			for _, n := range stats.NamesOf(k1.Entity(kb.EntityID(i)), nameAttrs1) {
+			for _, n := range nl1.Names(kb.EntityID(i)) {
 				yield(n)
 			}
 		},
 		func(i int, yield func(string)) {
-			for _, n := range stats.NamesOf(k2.Entity(kb.EntityID(i)), nameAttrs2) {
+			for _, n := range nl2.Names(kb.EntityID(i)) {
 				yield(n)
 			}
 		})

@@ -90,8 +90,8 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 	// E2 side stays a single pass, concurrent with the shard loop).
 	t0 := time.Now()
 	var (
-		ord1, ord2 map[string]int
-		top1, top2 [][]kb.EntityID
+		ranks1, ranks2 []int32
+		top1, top2     [][]kb.EntityID
 	)
 	err := eng.ConcurrentCtx(ctx,
 		func(sc context.Context) error {
@@ -104,25 +104,34 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 			out.NameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
 			return err
 		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	out.Timings.StatsAttributes = time.Since(t0)
+	t1 := time.Now()
+	err = eng.ConcurrentCtx(ctx,
 		func(sc context.Context) error {
 			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
-			ord1 = stats.GlobalRelationOrder(ri)
+			ranks1 = stats.RelationRanks(k1, ri)
 			return err
 		},
 		func(sc context.Context) error {
 			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
-			ord2 = stats.GlobalRelationOrder(ri)
+			ranks2 = stats.RelationRanks(k2, ri)
 			return err
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
+	out.Timings.StatsRelations = time.Since(t1)
+	t1 = time.Now()
 	err = eng.ConcurrentCtx(ctx,
 		func(sc context.Context) error {
 			top1 = make([][]kb.EntityID, k1.Len())
 			for _, s := range shards {
-				rows, err := stats.TopNeighborsSpanCtx(sc, eng, k1, ord1, cfg.RelN, s)
+				rows, err := stats.TopNeighborsRanksSpanCtx(sc, eng, k1, ranks1, cfg.RelN, s)
 				if err != nil {
 					return err
 				}
@@ -132,13 +141,14 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 		},
 		func(sc context.Context) error {
 			var err error
-			top2, err = stats.TopNeighborsCtx(sc, eng, k2, ord2, cfg.RelN)
+			top2, err = stats.TopNeighborsRanksCtx(sc, eng, k2, ranks2, cfg.RelN)
 			return err
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
+	out.Timings.StatsTopNeighbors = time.Since(t1)
 	out.Timings.Statistics = time.Since(t0)
 
 	// Stage 2 — composite blocking: identical to the monolithic pipeline;

@@ -231,15 +231,18 @@ func Generate(p Profile) (*Dataset, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	// Both KBs of the pair intern into one shared token dictionary, so the
+	// Both KBs of the pair intern into one shared token dictionary (so the
 	// resolution pipeline's TokenIndex gets the identity token space and
-	// skips its cross-dictionary translation.
+	// skips its cross-dictionary translation) and one shared schema
+	// dictionary (so predicates, attribute names and normalized values live
+	// in a single dense ID space across the pair).
 	dict := kb.NewInterner()
+	schema := kb.NewSchema()
 	g := &generator{
 		p:         p,
 		rng:       rand.New(rand.NewSource(p.Seed)),
-		b1:        kb.NewBuilderWithInterner(p.Name+"-E1", dict),
-		b2:        kb.NewBuilderWithInterner(p.Name+"-E2", dict),
+		b1:        kb.NewBuilderWithDicts(p.Name+"-E1", dict, schema),
+		b2:        kb.NewBuilderWithDicts(p.Name+"-E2", dict, schema),
 		usedNames: make(map[string]bool),
 	}
 	g.perm1 = g.rng.Perm(p.E1Size)

@@ -7,9 +7,12 @@ import (
 	"strings"
 )
 
-// checkFloorMS is the baseline stage time below which regressions are
-// ignored: sub-10ms stages are dominated by scheduler and allocator noise,
-// not by algorithmic regressions.
+// checkFloorMS is the noise floor for stage timings: sub-10ms measurements
+// are dominated by scheduler and allocator noise, not by algorithmic
+// regressions. A stage whose baseline sits below the floor is held to
+// tolerance × floor instead of tolerance × baseline — sub-floor jitter can
+// never fail the gate, but a fast stage that blows past the floor by the
+// full tolerance (an algorithmic regression) still does.
 const checkFloorMS = 10.0
 
 // ReadBenchJSON loads a benchmark report written by BenchReport.WriteJSON —
@@ -31,9 +34,10 @@ func ReadBenchJSON(path string) (*BenchReport, error) {
 // deliberately generous — it exists to catch algorithmic blowups, not CI
 // machine jitter:
 //
-//   - a per-stage timing fails only when the baseline stage is at least
-//     checkFloorMS AND the current time exceeds baseline × maxRatio;
-//   - sharded total timings are held to the same ratio against their own
+//   - a per-stage timing fails when the current time exceeds
+//     max(baseline, checkFloorMS) × maxRatio, so sub-floor stages are judged
+//     against the noise floor rather than ignored outright;
+//   - sharded total timings are held to the same rule against their own
 //     baseline entry (matched by shard count);
 //   - effectiveness must not silently degrade: F1 may drop at most 0.05
 //     absolute, and a sharded run must reproduce the monolithic match count
@@ -65,15 +69,18 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 				base, cur float64
 			}{
 				{"statistics", b.StatisticsMS, c.StatisticsMS},
+				{"stats/attributes", b.StatsAttributesMS, c.StatsAttributesMS},
+				{"stats/relations", b.StatsRelationsMS, c.StatsRelationsMS},
+				{"stats/topneighbors", b.StatsTopNeighborsMS, c.StatsTopNeighborsMS},
 				{"blocking", b.BlockingMS, c.BlockingMS},
 				{"graph", b.GraphMS, c.GraphMS},
 				{"matching", b.MatchingMS, c.MatchingMS},
 				{"total", b.TotalMS, c.TotalMS},
 			}
 			for _, st := range stages {
-				if st.base >= checkFloorMS && st.cur > st.base*maxRatio {
-					failf("%s: %s stage %.1fms exceeds %.1fms baseline ×%.1f tolerance",
-						b.Dataset, st.name, st.cur, st.base, maxRatio)
+				if eb := max(st.base, checkFloorMS); st.cur > eb*maxRatio {
+					failf("%s: %s stage %.1fms exceeds %.1fms baseline (floored to %.1fms) ×%.1f tolerance",
+						b.Dataset, st.name, st.cur, st.base, eb, maxRatio)
 				}
 			}
 			if c.F1 < b.F1-0.05 {
@@ -85,9 +92,9 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 					failf("%s: shards=%d present in baseline but not in current run", b.Dataset, bs.Shards)
 					continue
 				}
-				if bs.TotalMS >= checkFloorMS && cs.TotalMS > bs.TotalMS*maxRatio {
-					failf("%s: shards=%d total %.1fms exceeds %.1fms baseline ×%.1f tolerance",
-						b.Dataset, bs.Shards, cs.TotalMS, bs.TotalMS, maxRatio)
+				if eb := max(bs.TotalMS, checkFloorMS); cs.TotalMS > eb*maxRatio {
+					failf("%s: shards=%d total %.1fms exceeds %.1fms baseline (floored to %.1fms) ×%.1f tolerance",
+						b.Dataset, bs.Shards, cs.TotalMS, bs.TotalMS, eb, maxRatio)
 				}
 			}
 			for _, cs := range c.ShardRuns {

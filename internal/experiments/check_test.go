@@ -40,13 +40,20 @@ func TestCheckBenchFailsOnStageRegression(t *testing.T) {
 	}
 }
 
-func TestCheckBenchIgnoresNoiseFloorStages(t *testing.T) {
+func TestCheckBenchFloorsNoiseFloorStages(t *testing.T) {
 	base := baseReport()
 	cur := baseReport()
-	// Matching baseline (4ms) is below the 10ms floor: even a 10× blip passes.
-	cur.Results[0].MatchingMS = 40
+	// Matching baseline (4ms) is below the 10ms floor, so it is held to
+	// tolerance × floor: a blip to 19ms (under 2×10) is jitter and passes...
+	cur.Results[0].MatchingMS = 19
 	if err := CheckBench(cur, base, 2.0); err != nil {
-		t.Errorf("sub-floor stage blip failed the gate: %v", err)
+		t.Errorf("sub-floor stage jitter failed the gate: %v", err)
+	}
+	// ...but blowing past the floored threshold is a real regression.
+	cur.Results[0].MatchingMS = 40
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "matching stage") {
+		t.Errorf("sub-floor stage blowup not caught: %v", err)
 	}
 }
 

@@ -67,8 +67,9 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 		tokenBlocks := blocking.TokenBlocks(eng, d.K1, d.K2)
 		cap := int64(float64(d.K1.Len()) * float64(d.K2.Len()) * core.DefaultConfig().MaxBlockFraction)
 		tokenBlocks, _ = blocking.PurgeAbove(tokenBlocks, cap)
+		nl1 := stats.NewNameLookup(d.K1, n1)
 		nameKeys := func(e1 kb.EntityID) []string {
-			return stats.NamesOf(d.K1.Entity(e1), n1)
+			return nl1.Names(e1)
 		}
 		st := blocking.EvaluateBlocks(d.K1, d.K2, nameBlocks, tokenBlocks, d.GT, nameKeys)
 		rows = append(rows, Table2Row{Dataset: name, Stats: st})

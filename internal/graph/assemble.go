@@ -27,10 +27,10 @@ func InputFor(e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) Input {
 // through every upstream stage.
 func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, topK, relN int) (Input, error) {
 	var (
-		n1, n2     []string
-		ord1, ord2 map[string]int
-		nameBlocks *blocking.Collection
-		tokenIx    *blocking.TokenIndex
+		n1, n2         []string
+		ranks1, ranks2 []int32
+		nameBlocks     *blocking.Collection
+		tokenIx        *blocking.TokenIndex
 	)
 	// Name discovery, relation statistics and token blocking are mutually
 	// independent — run them concurrently as in Figure 4.
@@ -47,12 +47,12 @@ func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, 
 		},
 		func(sc context.Context) error {
 			ri, err := stats.RelationImportancesCtx(sc, e, k1)
-			ord1 = stats.GlobalRelationOrder(ri)
+			ranks1 = stats.RelationRanks(k1, ri)
 			return err
 		},
 		func(sc context.Context) error {
 			ri, err := stats.RelationImportancesCtx(sc, e, k2)
-			ord2 = stats.GlobalRelationOrder(ri)
+			ranks2 = stats.RelationRanks(k2, ri)
 			return err
 		},
 		func(sc context.Context) error {
@@ -67,11 +67,11 @@ func InputForCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameK, 
 	if nameBlocks, err = blocking.NameBlocksCtx(ctx, e, k1, k2, n1, n2); err != nil {
 		return Input{}, err
 	}
-	top1, err := stats.TopNeighborsCtx(ctx, e, k1, ord1, relN)
+	top1, err := stats.TopNeighborsRanksCtx(ctx, e, k1, ranks1, relN)
 	if err != nil {
 		return Input{}, err
 	}
-	top2, err := stats.TopNeighborsCtx(ctx, e, k2, ord2, relN)
+	top2, err := stats.TopNeighborsRanksCtx(ctx, e, k2, ranks2, relN)
 	if err != nil {
 		return Input{}, err
 	}

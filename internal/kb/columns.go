@@ -1,0 +1,107 @@
+package kb
+
+import "slices"
+
+// columns is the KB's columnar schema-axis substrate, built once at Build
+// time: every entity's relations and attribute-value statements stored as
+// flat, per-entity-span CSR arrays of dense schema IDs. Spans are ID-sorted
+// — relations by (PredID, Object), attribute statements by (AttrID,
+// ValueID) — so distinct-counting inside a span is an adjacency check and
+// per-predicate/per-attribute grouping is a linear walk, no maps.
+//
+// Description.Relations and Description.Attrs keep the insertion-ordered
+// string views for compatibility; the statistics stage reads only these
+// columns.
+type columns struct {
+	// relOff[i] .. relOff[i+1] is entity i's span in relPred/relObj.
+	relOff  []int32
+	relPred []PredID
+	relObj  []EntityID
+	// attrOff[i] .. attrOff[i+1] is entity i's span in attrName/attrVal:
+	// one row per attribute-value STATEMENT (duplicates included, since
+	// instance counts are per statement), with the value stored as the
+	// interned NormalizeName form.
+	attrOff  []int32
+	attrName []AttrID
+	attrVal  []ValueID
+}
+
+// buildColumns interns every predicate, attribute name and normalized value
+// of the entities into sch and lays the statements out in sorted per-entity
+// spans. Each span is sorted by packing (id, payload) into one uint64 key —
+// schema IDs and entity/value IDs both fit 32 bits — so co-sorting the two
+// parallel columns is a single integer sort.
+func buildColumns(entities []Description, sch *Schema) columns {
+	nRel, nAttr := 0, 0
+	for i := range entities {
+		nRel += len(entities[i].Relations)
+		nAttr += len(entities[i].Attrs)
+	}
+	c := columns{
+		relOff:   make([]int32, len(entities)+1),
+		relPred:  make([]PredID, 0, nRel),
+		relObj:   make([]EntityID, 0, nRel),
+		attrOff:  make([]int32, len(entities)+1),
+		attrName: make([]AttrID, 0, nAttr),
+		attrVal:  make([]ValueID, 0, nAttr),
+	}
+	var scratch []uint64
+	for i := range entities {
+		d := &entities[i]
+		c.relOff[i] = int32(len(c.relPred))
+		scratch = scratch[:0]
+		for _, r := range d.Relations {
+			scratch = append(scratch, uint64(sch.InternPred(r.Predicate))<<32|uint64(uint32(r.Object)))
+		}
+		slices.Sort(scratch)
+		for _, key := range scratch {
+			c.relPred = append(c.relPred, PredID(key>>32))
+			c.relObj = append(c.relObj, EntityID(int32(uint32(key))))
+		}
+		c.attrOff[i] = int32(len(c.attrName))
+		scratch = scratch[:0]
+		for _, av := range d.Attrs {
+			a := sch.InternAttr(av.Attribute)
+			v := sch.InternValue(NormalizeName(av.Value))
+			scratch = append(scratch, uint64(a)<<32|uint64(v))
+		}
+		slices.Sort(scratch)
+		for _, key := range scratch {
+			c.attrName = append(c.attrName, AttrID(key>>32))
+			c.attrVal = append(c.attrVal, ValueID(uint32(key)))
+		}
+	}
+	c.relOff[len(entities)] = int32(len(c.relPred))
+	c.attrOff[len(entities)] = int32(len(c.attrName))
+	return c
+}
+
+// Schema returns the KB's schema dictionaries (predicates, attribute names,
+// normalized values). KBs built with NewBuilderWithDicts and one shared
+// Schema return the same dictionary set.
+func (k *KB) Schema() *Schema { return k.schema }
+
+// RelationColumns returns entity id's relations in columnar form: parallel
+// slices of predicate IDs and objects, sorted by (PredID, Object). The
+// slices alias the KB's flat arrays; callers must not modify them.
+func (k *KB) RelationColumns(id EntityID) ([]PredID, []EntityID) {
+	lo, hi := k.cols.relOff[id], k.cols.relOff[id+1]
+	return k.cols.relPred[lo:hi], k.cols.relObj[lo:hi]
+}
+
+// AttributeColumns returns entity id's attribute-value statements in
+// columnar form: parallel slices of attribute IDs and normalized-value IDs
+// (one row per statement, duplicates included), sorted by (AttrID, ValueID).
+// The slices alias the KB's flat arrays; callers must not modify them.
+func (k *KB) AttributeColumns(id EntityID) ([]AttrID, []ValueID) {
+	lo, hi := k.cols.attrOff[id], k.cols.attrOff[id+1]
+	return k.cols.attrName[lo:hi], k.cols.attrVal[lo:hi]
+}
+
+// Rels returns the total number of relation statements in the KB (the size
+// of the relation columns).
+func (k *KB) Rels() int { return len(k.cols.relPred) }
+
+// AttrStatements returns the total number of attribute-value statements in
+// the KB (the size of the attribute columns).
+func (k *KB) AttrStatements() int { return len(k.cols.attrName) }

@@ -104,6 +104,8 @@ type KB struct {
 	entities []Description
 	byURI    map[string]EntityID
 	dict     *Interner
+	schema   *Schema
+	cols     columns
 	triples  int
 }
 
@@ -135,34 +137,33 @@ func (k *KB) Lookup(uri string) EntityID {
 	return NoEntity
 }
 
-// Relations returns the distinct relation predicates of entity id, in first
-// appearance order (paper: relations(e_i)).
+// Relations returns the distinct relation predicates of entity id (paper:
+// relations(e_i)), derived from the sorted columnar span — distinct IDs are
+// adjacent, so no per-call dedup map is needed. Order is dense predicate-ID
+// order, i.e. first global appearance during the KB build.
 func (k *KB) Relations(id EntityID) []string {
-	d := &k.entities[id]
-	seen := make(map[string]bool, len(d.Relations))
+	preds, _ := k.RelationColumns(id)
 	var out []string
-	for _, r := range d.Relations {
-		if !seen[r.Predicate] {
-			seen[r.Predicate] = true
-			out = append(out, r.Predicate)
+	for j, p := range preds {
+		if j > 0 && p == preds[j-1] {
+			continue
 		}
+		out = append(out, k.schema.Pred(p))
 	}
 	return out
 }
 
-// Neighbors returns the distinct neighbor entities of id, in first appearance
-// order (paper: neighbors(e_i)).
+// Neighbors returns the distinct neighbor entities of id (paper:
+// neighbors(e_i)), sorted by entity ID, derived from the columnar span with
+// one sort+compact instead of a per-call dedup map.
 func (k *KB) Neighbors(id EntityID) []EntityID {
-	d := &k.entities[id]
-	seen := make(map[EntityID]bool, len(d.Relations))
-	var out []EntityID
-	for _, r := range d.Relations {
-		if !seen[r.Object] {
-			seen[r.Object] = true
-			out = append(out, r.Object)
-		}
+	_, objs := k.RelationColumns(id)
+	if len(objs) == 0 {
+		return nil
 	}
-	return out
+	out := slices.Clone(objs)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // AverageTokens returns the mean number of distinct tokens per description
@@ -178,26 +179,32 @@ func (k *KB) AverageTokens() float64 {
 	return float64(total) / float64(len(k.entities))
 }
 
-// Attributes returns the number of distinct literal attribute names in the KB.
+// Attributes returns the number of distinct literal attribute names in the
+// KB. (The schema dictionary may be shared with another KB, so the count is
+// taken over this KB's own columns, not the dictionary size.)
 func (k *KB) Attributes() int {
-	set := make(map[string]struct{})
-	for i := range k.entities {
-		for _, av := range k.entities[i].Attrs {
-			set[av.Attribute] = struct{}{}
+	seen := make([]bool, k.schema.Attrs())
+	n := 0
+	for _, a := range k.cols.attrName {
+		if !seen[a] {
+			seen[a] = true
+			n++
 		}
 	}
-	return len(set)
+	return n
 }
 
 // RelationNames returns the number of distinct relation predicates in the KB.
 func (k *KB) RelationNames() int {
-	set := make(map[string]struct{})
-	for i := range k.entities {
-		for _, r := range k.entities[i].Relations {
-			set[r.Predicate] = struct{}{}
+	seen := make([]bool, k.schema.Preds())
+	n := 0
+	for _, p := range k.cols.relPred {
+		if !seen[p] {
+			seen[p] = true
+			n++
 		}
 	}
-	return len(set)
+	return n
 }
 
 // String implements fmt.Stringer with a compact summary.
@@ -213,6 +220,7 @@ type Builder struct {
 	entities []Description
 	byURI    map[string]EntityID
 	dict     *Interner
+	schema   *Schema
 	// pending holds raw (subject, predicate, object) statements whose object
 	// may turn out to be an entity URI.
 	pending []rawTriple
@@ -235,18 +243,33 @@ func NewBuilder(name string) *Builder {
 }
 
 // NewBuilderWithInterner returns a Builder whose KB interns tokens into the
-// given shared dictionary. Building both KBs of an ER pair over one Interner
-// puts them in the same token-ID space, which the blocking TokenIndex
-// exploits to skip per-token string work entirely.
+// given shared dictionary (and into a private schema dictionary). Building
+// both KBs of an ER pair over one Interner puts them in the same token-ID
+// space, which the blocking TokenIndex exploits to skip per-token string
+// work entirely.
 func NewBuilderWithInterner(name string, dict *Interner) *Builder {
+	return NewBuilderWithDicts(name, dict, nil)
+}
+
+// NewBuilderWithDicts returns a Builder interning tokens into dict and
+// predicates/attribute names/normalized values into schema — the full
+// shared-dictionary pairing: build both KBs of an ER pair over one Interner
+// AND one Schema and every pipeline stage, token axis and schema axis alike,
+// runs on a single dense ID space. A nil dict or schema gets a fresh private
+// dictionary.
+func NewBuilderWithDicts(name string, dict *Interner, schema *Schema) *Builder {
 	if dict == nil {
 		dict = NewInterner()
 	}
+	if schema == nil {
+		schema = NewSchema()
+	}
 	return &Builder{
-		name:  name,
-		byURI: make(map[string]EntityID),
-		dict:  dict,
-		tok:   NewTokenizer(),
+		name:   name,
+		byURI:  make(map[string]EntityID),
+		dict:   dict,
+		schema: schema,
+		tok:    NewTokenizer(),
 	}
 }
 
@@ -299,7 +322,12 @@ func (b *Builder) Build() *KB {
 		b.entities[i].tokens = b.dict.InternAll(b.tok.TokenSet(&b.entities[i]))
 		b.entities[i].dict = b.dict
 	}
-	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, dict: b.dict, triples: triples}
+	kb := &KB{
+		name: b.name, entities: b.entities, byURI: b.byURI,
+		dict: b.dict, schema: b.schema,
+		cols:    buildColumns(b.entities, b.schema),
+		triples: triples,
+	}
 	b.entities = nil
 	b.byURI = nil
 	b.pending = nil

@@ -46,6 +46,7 @@ type StreamBuilder struct {
 	entities []Description
 	byURI    map[string]EntityID
 	dict     *Interner
+	schema   *Schema
 	tok      *Tokenizer
 	// toks accumulates the interned token IDs of each entity's literal
 	// values, duplicates included; Build deduplicates once per entity.
@@ -65,14 +66,25 @@ func NewStreamBuilder(name string) *StreamBuilder {
 // given shared dictionary, the same pairing contract as
 // NewBuilderWithInterner.
 func NewStreamBuilderWithInterner(name string, dict *Interner) *StreamBuilder {
+	return NewStreamBuilderWithDicts(name, dict, nil)
+}
+
+// NewStreamBuilderWithDicts returns a StreamBuilder interning tokens into
+// dict and schema terms into schema, the streaming counterpart of
+// NewBuilderWithDicts. A nil dict or schema gets a fresh private dictionary.
+func NewStreamBuilderWithDicts(name string, dict *Interner, schema *Schema) *StreamBuilder {
 	if dict == nil {
 		dict = NewInterner()
 	}
+	if schema == nil {
+		schema = NewSchema()
+	}
 	return &StreamBuilder{
-		name:  name,
-		byURI: make(map[string]EntityID),
-		dict:  dict,
-		tok:   NewTokenizer(),
+		name:   name,
+		byURI:  make(map[string]EntityID),
+		dict:   dict,
+		schema: schema,
+		tok:    NewTokenizer(),
 	}
 }
 
@@ -148,7 +160,12 @@ func (b *StreamBuilder) Build() *KB {
 		b.entities[i].tokens = slices.Compact(ids)
 		b.entities[i].dict = b.dict
 	}
-	kb := &KB{name: b.name, entities: b.entities, byURI: b.byURI, dict: b.dict, triples: b.triples}
+	kb := &KB{
+		name: b.name, entities: b.entities, byURI: b.byURI,
+		dict: b.dict, schema: b.schema,
+		cols:    buildColumns(b.entities, b.schema),
+		triples: b.triples,
+	}
 	b.entities = nil
 	b.byURI = nil
 	b.toks = nil

@@ -5,7 +5,12 @@
 // the global top-k name attributes whose values act as entity names.
 //
 // All statistics are produced by data-parallel passes over the KB through
-// the parallel engine, mirroring the Spark stages of §4.1.
+// the parallel engine, mirroring the Spark stages of §4.1. Since the schema
+// axis is interned at KB build time (kb.PredID / kb.AttrID / kb.ValueID over
+// a kb.Schema) and every entity's relations and attribute statements are
+// stored as ID-sorted columnar spans, the whole stage runs as flat counting
+// passes over dense-ID arrays — no string hashing, no per-triple tuple
+// materialization, no maps on the hot path.
 package stats
 
 import (
@@ -30,22 +35,17 @@ type EFIndex struct {
 }
 
 // BuildEFCtx computes the EF index with a parallel count-by-token-ID pass,
-// honoring cancellation.
+// honoring cancellation. Each worker counts into its own local array — one
+// static span per worker — and the partials are summed in span order, so the
+// pass is free of atomic contention on hot tokens (integer sums make the
+// merge trivially deterministic).
 func BuildEFCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (*EFIndex, error) {
 	dict := k.TokenDict()
 	n := 0
 	if dict != nil {
 		n = dict.Len()
 	}
-	counts := make([]int32, n)
-	// Chunked scheduling: per-entity token counts are power-law skewed, so
-	// static spans would straggle behind the heavy entities.
-	err := e.Chunked().ForCtx(ctx, k.Len(), func(i int) error {
-		for _, id := range k.Entity(kb.EntityID(i)).TokenIDs() {
-			atomic.AddInt32(&counts[id], 1)
-		}
-		return nil
-	})
+	counts, err := efCountsLocal(ctx, e, k, n)
 	if err != nil {
 		return nil, err
 	}
@@ -56,6 +56,50 @@ func BuildEFCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (*EFIndex, er
 		}
 	}
 	return ix, nil
+}
+
+// efCountsLocal is the per-worker-local counting pass behind BuildEFCtx.
+// Static spans (not the chunked scheduler) keep the transient memory at one
+// count array per worker; the per-entity walk is cheap enough that static
+// partitioning does not straggle.
+func efCountsLocal(ctx context.Context, e *parallel.Engine, k *kb.KB, n int) ([]int32, error) {
+	locals, err := parallel.MapSpansCtx(ctx, e, k.Len(), func(s parallel.Span) ([]int32, error) {
+		counts := make([]int32, n)
+		for i := s.Lo; i < s.Hi; i++ {
+			for _, id := range k.Entity(kb.EntityID(i)).TokenIDs() {
+				counts[id]++
+			}
+		}
+		return counts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(locals) == 0 {
+		return make([]int32, n), nil
+	}
+	counts := locals[0]
+	for _, l := range locals[1:] {
+		addCounts(counts, l)
+	}
+	return counts, nil
+}
+
+// efCountsAtomic is the pre-refactor counting pass (shared array, one atomic
+// add per token occurrence). Kept unexported as the reference side of
+// BenchmarkBuildEF's before/after comparison.
+func efCountsAtomic(ctx context.Context, e *parallel.Engine, k *kb.KB, n int) ([]int32, error) {
+	counts := make([]int32, n)
+	err := e.Chunked().ForCtx(ctx, k.Len(), func(i int) error {
+		for _, id := range k.Entity(kb.EntityID(i)).TokenIDs() {
+			atomic.AddInt32(&counts[id], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
 }
 
 // BuildEF is BuildEFCtx without cancellation.
@@ -98,6 +142,8 @@ func (ix *EFIndex) DistinctTokens() int { return ix.distinct }
 // relation predicate (Defs. 2.2–2.4).
 type RelationStat struct {
 	Predicate string
+	// ID is the predicate's dense schema ID in the KB's kb.Schema.
+	ID kb.PredID
 	// Instances is |instances(p)|: the number of distinct (subject, object)
 	// pairs connected by p.
 	Instances int
@@ -111,41 +157,96 @@ type RelationStat struct {
 	Importance float64
 }
 
-type pair struct {
-	s kb.EntityID
-	o kb.EntityID
-}
-
 // RelationImportancesCtx computes per-predicate statistics for all relations
 // of the KB. The returned slice is sorted by decreasing importance, breaking
 // ties by predicate name so the global order (Algorithm 1 line 37) is
 // deterministic.
+//
+// The computation is three flat passes over the columnar relation spans,
+// mirroring blocking.TokenIndex: (1) chunked per-span local instance counts
+// (per-entity spans are (PredID, Object)-sorted, so duplicate statements are
+// adjacent and distinct (subject, object) pairs cost one comparison each),
+// merged in span order; (2) a scatter fill grouping the distinct instances'
+// objects by predicate; (3) a per-predicate sort+compact counting distinct
+// objects. No string keys, no per-triple tuples, no maps.
 func RelationImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) ([]RelationStat, error) {
-	grouped, err := parallel.GroupByCtx(ctx, e, k.Len(), func(i int, yield func(string, pair)) {
-		d := k.Entity(kb.EntityID(i))
-		for _, r := range d.Relations {
-			yield(r.Predicate, pair{kb.EntityID(i), r.Object})
+	sch := k.Schema()
+	nPred := sch.Preds()
+	if nPred == 0 || k.Len() == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		return []RelationStat{}, nil
+	}
+	ce := e.Chunked()
+	// Pass 1: distinct-instance counts per predicate, per-span local arrays
+	// merged in span order (the schema axis is tiny, so a local array per
+	// chunk costs nothing and removes all write sharing).
+	locals, err := parallel.MapSpansCtx(ctx, ce, k.Len(), func(s parallel.Span) ([]int32, error) {
+		counts := make([]int32, nPred)
+		for i := s.Lo; i < s.Hi; i++ {
+			preds, objs := k.RelationColumns(kb.EntityID(i))
+			for j := range preds {
+				if j > 0 && preds[j] == preds[j-1] && objs[j] == objs[j-1] {
+					continue // duplicate (s, p, o) statement
+				}
+				counts[preds[j]]++
+			}
+		}
+		return counts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst := locals[0]
+	for _, l := range locals[1:] {
+		addCounts(inst, l)
+	}
+	// Pass 2: group the distinct instances' objects by predicate (CSR
+	// counting pass + atomic-cursor scatter fill).
+	off := prefixSums(inst)
+	objsByPred := make([]kb.EntityID, off[nPred])
+	cur := slices.Clone(off[:nPred])
+	err = ce.ForCtx(ctx, k.Len(), func(i int) error {
+		preds, objs := k.RelationColumns(kb.EntityID(i))
+		for j := range preds {
+			if j > 0 && preds[j] == preds[j-1] && objs[j] == objs[j-1] {
+				continue
+			}
+			objsByPred[atomic.AddInt32(&cur[preds[j]], 1)-1] = objs[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pass 3: distinct objects per predicate via sort+compact of its group.
+	objCount := make([]int32, nPred)
+	err = ce.ForCtx(ctx, nPred, func(p int) error {
+		group := objsByPred[off[p]:off[p+1]]
+		slices.Sort(group)
+		objCount[p] = countDistinctSorted(group)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	n := float64(k.Len())
-	stats := make([]RelationStat, 0, len(grouped))
-	for p, pairs := range grouped {
-		instSet := make(map[pair]struct{}, len(pairs))
-		objSet := make(map[kb.EntityID]struct{})
-		for _, pr := range pairs {
-			instSet[pr] = struct{}{}
-			objSet[pr.o] = struct{}{}
+	stats := make([]RelationStat, 0, nPred)
+	for p := 0; p < nPred; p++ {
+		if inst[p] == 0 {
+			continue // predicate absent from this KB (shared schema dictionary)
 		}
-		st := RelationStat{Predicate: p, Instances: len(instSet), Objects: len(objSet)}
+		st := RelationStat{
+			Predicate: sch.Pred(kb.PredID(p)),
+			ID:        kb.PredID(p),
+			Instances: int(inst[p]),
+			Objects:   int(objCount[p]),
+		}
 		if n > 0 {
 			st.Support = float64(st.Instances) / (n * n)
 		}
-		if st.Instances > 0 {
-			st.Discriminability = float64(st.Objects) / float64(st.Instances)
-		}
+		st.Discriminability = float64(st.Objects) / float64(st.Instances)
 		st.Importance = harmonicMean(st.Support, st.Discriminability)
 		stats = append(stats, st)
 	}
@@ -156,6 +257,42 @@ func RelationImportancesCtx(ctx context.Context, e *parallel.Engine, k *kb.KB) (
 		return cmp.Compare(a.Predicate, b.Predicate)
 	})
 	return stats, nil
+}
+
+// addCounts accumulates the span-local counts of src into dst element-wise —
+// the deterministic (integer-sum) reduce behind every per-worker-local
+// counting pass in this package.
+func addCounts(dst, src []int32) {
+	for i, c := range src {
+		dst[i] += c
+	}
+}
+
+// countDistinctSorted returns the number of distinct values in a sorted
+// slice via adjacent comparison, without modifying it.
+func countDistinctSorted[T comparable](group []T) int32 {
+	if len(group) == 0 {
+		return 0
+	}
+	d := int32(1)
+	for j := 1; j < len(group); j++ {
+		if group[j] != group[j-1] {
+			d++
+		}
+	}
+	return d
+}
+
+// prefixSums turns per-ID counts into CSR offsets (len(counts)+1 entries).
+func prefixSums(counts []int32) []int32 {
+	off := make([]int32, len(counts)+1)
+	var sum int32
+	for i, c := range counts {
+		off[i] = sum
+		sum += c
+	}
+	off[len(counts)] = sum
+	return off
 }
 
 // RelationImportances is RelationImportancesCtx without cancellation.
@@ -172,7 +309,9 @@ func harmonicMean(a, b float64) float64 {
 }
 
 // GlobalRelationOrder maps each predicate to its rank in the importance
-// order (0 = most important). It is the globalOrder of Algorithm 1.
+// order (0 = most important). It is the globalOrder of Algorithm 1 as a
+// string-keyed map — the compatibility view; the pipeline itself uses the
+// dense RelationRanks array.
 func GlobalRelationOrder(stats []RelationStat) map[string]int {
 	order := make(map[string]int, len(stats))
 	for i, s := range stats {
@@ -181,12 +320,46 @@ func GlobalRelationOrder(stats []RelationStat) map[string]int {
 	return order
 }
 
+// RelationRanks is the columnar globalOrder of Algorithm 1 (line 37): a flat
+// array indexed by kb.PredID giving each predicate's position in the
+// importance order (0 = most important). Predicates absent from stats (a
+// shared schema dictionary may hold the other KB's predicates) rank last.
+func RelationRanks(k *kb.KB, stats []RelationStat) []int32 {
+	ranks := make([]int32, k.Schema().Preds())
+	for p := range ranks {
+		ranks[p] = int32(len(stats))
+	}
+	for i, s := range stats {
+		ranks[s.ID] = int32(i)
+	}
+	return ranks
+}
+
+// ranksFromOrder converts a string-keyed globalOrder map into the dense
+// rank array, preserving the historical map semantics: a predicate missing
+// from the map ranks 0, exactly as order[p] reads for an absent key.
+func ranksFromOrder(k *kb.KB, order map[string]int) []int32 {
+	sch := k.Schema()
+	ranks := make([]int32, sch.Preds())
+	for p := range ranks {
+		ranks[p] = int32(order[sch.Pred(kb.PredID(p))])
+	}
+	return ranks
+}
+
 // TopNeighborsCtx returns, for every entity of the KB, its top neighbors:
 // the objects of its top-N most important relations (localOrder of
 // Algorithm 1, lines 36–43). Neighbor lists are deduplicated and sorted by
-// entity ID.
+// entity ID. This is the map-keyed compatibility wrapper over
+// TopNeighborsRanksCtx.
 func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order map[string]int, n int) ([][]kb.EntityID, error) {
-	return TopNeighborsSpanCtx(ctx, e, k, order, n, parallel.Span{Lo: 0, Hi: k.Len()})
+	return TopNeighborsRanksCtx(ctx, e, k, ranksFromOrder(k, order), n)
+}
+
+// TopNeighborsRanksCtx is TopNeighborsCtx over the dense RelationRanks
+// array — the pipeline's path.
+func TopNeighborsRanksCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, ranks []int32, n int) ([][]kb.EntityID, error) {
+	return TopNeighborsRanksSpanCtx(ctx, e, k, ranks, n, parallel.Span{Lo: 0, Hi: k.Len()})
 }
 
 // TopNeighborsSpanCtx computes the top-neighbor rows for one contiguous
@@ -196,6 +369,11 @@ func TopNeighborsCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order ma
 // the property the sharded pipeline relies on to bound the transient state
 // of statistics extraction per shard.
 func TopNeighborsSpanCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, order map[string]int, n int, s parallel.Span) ([][]kb.EntityID, error) {
+	return TopNeighborsRanksSpanCtx(ctx, e, k, ranksFromOrder(k, order), n, s)
+}
+
+// TopNeighborsRanksSpanCtx is TopNeighborsSpanCtx over the dense rank array.
+func TopNeighborsRanksSpanCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, ranks []int32, n int, s parallel.Span) ([][]kb.EntityID, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -203,47 +381,50 @@ func TopNeighborsSpanCtx(ctx context.Context, e *parallel.Engine, k *kb.KB, orde
 		return make([][]kb.EntityID, s.Len()), nil
 	}
 	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]kb.EntityID, error) {
-		return topNeighborRow(k, order, n, s.Lo+i), nil
+		return topNeighborRow(k, ranks, n, s.Lo+i), nil
 	})
 }
 
+// predSpan is one distinct predicate's subrange of an entity's relation span.
+type predSpan struct {
+	rank   int32
+	lo, hi int32
+}
+
 // topNeighborRow computes localOrder(e) and the resulting deduplicated,
-// ID-sorted top-neighbor list of one entity.
-func topNeighborRow(k *kb.KB, order map[string]int, n, i int) []kb.EntityID {
-	d := k.Entity(kb.EntityID(i))
-	if len(d.Relations) == 0 {
+// ID-sorted top-neighbor list of one entity — an allocation-lean walk over
+// the entity's pre-sorted relation span: distinct predicates are adjacent
+// runs, localOrder is a sort of those few runs by global rank, and the
+// neighbor set is one gather + sort + compact. No maps.
+func topNeighborRow(k *kb.KB, ranks []int32, n, i int) []kb.EntityID {
+	preds, objs := k.RelationColumns(kb.EntityID(i))
+	if len(preds) == 0 {
 		return nil
 	}
-	// localOrder(e): the entity's distinct relations sorted by the
-	// global importance order.
-	rels := make([]string, 0, len(d.Relations))
-	seen := make(map[string]bool, len(d.Relations))
-	for _, r := range d.Relations {
-		if !seen[r.Predicate] {
-			seen[r.Predicate] = true
-			rels = append(rels, r.Predicate)
+	var spansBuf [8]predSpan
+	spans := spansBuf[:0]
+	lo := 0
+	for j := 1; j <= len(preds); j++ {
+		if j == len(preds) || preds[j] != preds[lo] {
+			spans = append(spans, predSpan{ranks[preds[lo]], int32(lo), int32(j)})
+			lo = j
 		}
 	}
-	slices.SortFunc(rels, func(a, b string) int { return cmp.Compare(order[a], order[b]) })
-	if len(rels) > n {
-		rels = rels[:n]
+	if len(spans) > n {
+		// localOrder(e): distinct relations by global importance rank.
+		slices.SortFunc(spans, func(a, b predSpan) int { return cmp.Compare(a.rank, b.rank) })
+		spans = spans[:n]
 	}
-	top := make(map[string]bool, len(rels))
-	for _, p := range rels {
-		top[p] = true
+	total := 0
+	for _, sp := range spans {
+		total += int(sp.hi - sp.lo)
 	}
-	nset := make(map[kb.EntityID]struct{})
-	for _, r := range d.Relations {
-		if top[r.Predicate] {
-			nset[r.Object] = struct{}{}
-		}
-	}
-	out := make([]kb.EntityID, 0, len(nset))
-	for id := range nset {
-		out = append(out, id)
+	out := make([]kb.EntityID, 0, total)
+	for _, sp := range spans {
+		out = append(out, objs[sp.lo:sp.hi]...)
 	}
 	slices.Sort(out)
-	return out
+	return slices.Compact(out)
 }
 
 // TopNeighbors is TopNeighborsCtx without cancellation.
@@ -254,16 +435,36 @@ func TopNeighbors(e *parallel.Engine, k *kb.KB, order map[string]int, n int) [][
 
 // TopInNeighbors reverses a TopNeighbors index: result[e] lists the entities
 // that have e among their top neighbors (Algorithm 1, lines 44–47). Lists
-// are sorted by entity ID.
+// are sorted by entity ID. The reversal is a counting pass + scatter fill
+// into one flat array (mirroring blocking.TokenIndex): sources are visited
+// in ascending order, so every per-entity list comes out sorted without a
+// sort step, and the result is |E| slice views over a single allocation.
 func TopInNeighbors(top [][]kb.EntityID) [][]kb.EntityID {
-	in := make([][]kb.EntityID, len(top))
-	for src, neighbors := range top {
+	counts := make([]int32, len(top))
+	total := 0
+	for _, neighbors := range top {
+		total += len(neighbors)
 		for _, dst := range neighbors {
-			in[dst] = append(in[dst], kb.EntityID(src))
+			counts[dst]++
 		}
 	}
-	for i := range in {
-		slices.Sort(in[i])
+	flat := make([]kb.EntityID, total)
+	off := prefixSums(counts)
+	cur := off[:len(top)] // reuse: advanced as the sequential fill cursor
+	for src, neighbors := range top {
+		for _, dst := range neighbors {
+			flat[cur[dst]] = kb.EntityID(src)
+			cur[dst]++
+		}
+	}
+	in := make([][]kb.EntityID, len(top))
+	lo := int32(0)
+	for dst := range in {
+		hi := cur[dst]
+		if hi > lo {
+			in[dst] = flat[lo:hi]
+		}
+		lo = hi
 	}
 	return in
 }

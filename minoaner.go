@@ -78,6 +78,22 @@ func NewBuilderWithInterner(name string, dict *Interner) *Builder {
 	return kb.NewBuilderWithInterner(name, dict)
 }
 
+// Schema is the schema-axis dictionary set: relation predicates, attribute
+// names and normalized literal values, interned once at KB build time into
+// dense IDs the statistics stage counts over. Share one Schema between the
+// two KBs of a pair (see NewBuilderWithDicts) the same way the token
+// Interner is shared.
+type Schema = kb.Schema
+
+// NewSchema returns an empty shared schema dictionary set.
+func NewSchema() *Schema { return kb.NewSchema() }
+
+// NewBuilderWithDicts starts a KB over a shared token dictionary AND a
+// shared schema dictionary — the full dense-ID pairing for clean-clean ER.
+func NewBuilderWithDicts(name string, dict *Interner, schema *Schema) *Builder {
+	return kb.NewBuilderWithDicts(name, dict, schema)
+}
+
 // StreamBuilder is the memory-bounded KB construction path: statements are
 // tokenized and interned as they arrive, and only forward-referenced object
 // statements are held until Build — instead of queueing the whole input.
@@ -90,6 +106,12 @@ func NewStreamBuilder(name string) *StreamBuilder { return kb.NewStreamBuilder(n
 // token dictionary (see NewBuilderWithInterner).
 func NewStreamBuilderWithInterner(name string, dict *Interner) *StreamBuilder {
 	return kb.NewStreamBuilderWithInterner(name, dict)
+}
+
+// NewStreamBuilderWithDicts starts a streaming KB build over a shared token
+// dictionary and a shared schema dictionary (see NewBuilderWithDicts).
+func NewStreamBuilderWithDicts(name string, dict *Interner, schema *Schema) *StreamBuilder {
+	return kb.NewStreamBuilderWithDicts(name, dict, schema)
 }
 
 // LoadNTriples reads a KB in N-Triples format; lenient skips malformed
