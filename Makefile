@@ -2,11 +2,17 @@
 
 SCALE ?= 0.5
 REPS  ?= 3
-# bench-check compares against the committed baseline, so its scale and
-# shard counts must match the ones the baseline was recorded with. The
-# tolerance is deliberately loose: per-stage wall-clock on shared CI runners
-# routinely swings ~2× between runs, and the gate exists to catch
-# order-of-magnitude algorithmic blowups, not scheduler jitter.
+# The primary bench run is pinned to one core so data points are comparable
+# across machines and over time; PAR_WORKERS adds extra monolithic data
+# points at other engine sizes (0 = all cores), so the records — and the
+# regression gate — also watch parallel scaling, not just 1-core speed.
+BENCH_WORKERS ?= 1
+PAR_WORKERS   ?= 0
+# bench-check compares against the committed baseline, so its scale, shard
+# counts and worker counts must match the ones the baseline was recorded
+# with. The tolerance is deliberately loose: per-stage wall-clock on shared
+# CI runners routinely swings ~2× between runs, and the gate exists to
+# catch order-of-magnitude algorithmic blowups, not scheduler jitter.
 CHECK_SCALE  ?= 0.25
 CHECK_SHARDS ?= 1,8
 TOLERANCE    ?= 3.0
@@ -38,9 +44,11 @@ cover:
 	go tool cover -func=coverage.out | tail -n 1
 
 # bench emits BENCH_<date>.json with per-stage wall-clock timings for every
-# Table-1 preset — the perf trajectory data points the ROADMAP asks for.
+# Table-1 preset — the perf trajectory data points the ROADMAP asks for —
+# measured at 1 core, plus a workers=GOMAXPROCS data point per dataset.
 bench:
-	go run ./cmd/experiments -bench -scale $(SCALE) -reps $(REPS) -shards $(CHECK_SHARDS)
+	go run ./cmd/experiments -bench -scale $(SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
+		-workers $(BENCH_WORKERS) -parworkers $(PAR_WORKERS)
 
 # bench-test runs the Go benchmark suite (tables, figures, stages, ablations).
 bench-test:
@@ -56,12 +64,14 @@ smoke:
 # F1/determinism break) against the committed BENCH_baseline.json.
 bench-check:
 	go run ./cmd/experiments -bench -scale $(CHECK_SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
+		-workers $(BENCH_WORKERS) -parworkers $(PAR_WORKERS) \
 		-benchout /tmp/bench-current.json -check BENCH_baseline.json -tolerance $(TOLERANCE)
 
 # bench-baseline refreshes the committed gate baseline on the current tree
 # (run after an intentional perf change, commit the result).
 bench-baseline:
 	go run ./cmd/experiments -bench -scale $(CHECK_SCALE) -reps $(REPS) -shards $(CHECK_SHARDS) \
+		-workers $(BENCH_WORKERS) -parworkers $(PAR_WORKERS) \
 		-benchout BENCH_baseline.json
 
 # profile emits pprof CPU and heap profiles for one preset pipeline run

@@ -226,11 +226,53 @@ func BenchmarkStageTokenBlocking(b *testing.B) {
 func BenchmarkStageGraphConstruction(b *testing.B) {
 	_, in, _ := benchComponents()
 	eng := parallel.New(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := graph.Build(eng, in)
 		if g.Edges() == 0 {
 			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkBuildBeta guards the scoreboard β pass in isolation: the heavy
+// direction (the larger KB against the E1 candidate space) over the purged
+// token index, K=15. Allocation counts are part of the guard — the
+// per-worker scoreboard leaves one row allocation per entity.
+func BenchmarkBuildBeta(b *testing.B) {
+	d, in, _ := benchComponents()
+	eng := parallel.New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := graph.BetaRowsCtx(context.Background(), eng, in.TokenIndex, d.K2, d.K1.Len(), false, in.K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != d.K2.Len() {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkGammaRows guards the scoreboard γ pass in isolation: E1-side
+// neighbor propagation over the merged β adjacency and E2's reverse
+// top-neighbor index, K=15.
+func BenchmarkGammaRows(b *testing.B) {
+	_, in, g := benchComponents()
+	eng := parallel.New(0)
+	adj1 := graph.MergeAdjacency(g.Beta1, g.Beta2, len(in.Top1))
+	in2 := stats.TopInNeighbors(in.Top2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := graph.GammaRowsCtx(context.Background(), eng, in.Top1, adj1, in2, in.K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(in.Top1) {
+			b.Fatal("wrong row count")
 		}
 	}
 }

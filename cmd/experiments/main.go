@@ -11,6 +11,7 @@
 //	experiments -bench                # per-stage timings → BENCH_<date>.json
 //	experiments -bench -reps 5 -benchout perf.json
 //	experiments -bench -shards 1,8    # + sharded-execution data points
+//	experiments -bench -parworkers 0  # + a workers=GOMAXPROCS data point
 //	experiments -bench -scale 0.25 -check BENCH_baseline.json
 //	                                  # CI regression gate: fail on >2× stage
 //	                                  # regression against the committed baseline
@@ -45,6 +46,7 @@ func main() {
 		reps      = flag.Int("reps", 3, "benchmark repetitions per dataset (with -bench)")
 		benchout  = flag.String("benchout", "", "benchmark report path (default BENCH_<date>.json)")
 		shardsCSV = flag.String("shards", "", "comma-separated shard counts to benchmark with ResolveSharded (with -bench)")
+		parCSV    = flag.String("parworkers", "", "comma-separated extra worker counts to benchmark the monolithic pipeline at (0 = all cores; with -bench)")
 		check     = flag.String("check", "", "baseline BENCH JSON to gate against (implies -bench; exit 1 on regression)")
 		tolerance = flag.Float64("tolerance", 2.0, "bench-check failure ratio: fail when a stage exceeds baseline×tolerance")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
@@ -102,6 +104,8 @@ func main() {
 	}
 	shardCounts, err := parseShardCounts(*shardsCSV)
 	exitOn(err)
+	workerCounts, err := parseWorkerCounts(*parCSV)
+	exitOn(err)
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
@@ -114,7 +118,7 @@ func main() {
 	exitOn(err)
 
 	if *bench {
-		report, err := suite.Bench(*reps, shardCounts)
+		report, err := suite.Bench(*reps, shardCounts, workerCounts)
 		exitOn(err)
 		path := *benchout
 		if path == "" {
@@ -220,19 +224,30 @@ func main() {
 	}
 }
 
-func parseShardCounts(csv string) ([]int, error) {
+// parseCounts parses a comma-separated integer list, rejecting entries
+// below min — the shared parser behind -shards (min 1) and -parworkers
+// (min 0, where 0 means all cores).
+func parseCounts(csv, flagName, want string, min int) ([]int, error) {
 	if csv == "" {
 		return nil, nil
 	}
 	var out []int
 	for _, part := range strings.Split(csv, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid -shards entry %q (want positive integers)", part)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("invalid %s entry %q (want %s)", flagName, part, want)
 		}
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+func parseShardCounts(csv string) ([]int, error) {
+	return parseCounts(csv, "-shards", "positive integers", 1)
+}
+
+func parseWorkerCounts(csv string) ([]int, error) {
+	return parseCounts(csv, "-parworkers", "non-negative integers; 0 = all cores", 0)
 }
 
 // flushProfiles finalizes any pprof profiles in flight; exitOn calls it

@@ -49,12 +49,16 @@ type TokenIndex struct {
 	live int
 }
 
-// NewTokenIndexCtx builds the token index for a KB pair with two counting
-// passes over the entities, both under the dynamic chunked scheduler
-// (per-entity token counts are power-law skewed, so static spans straggle):
-// first occurrence counts per token (the CSR offsets), then a scatter fill
-// of the flat member arrays. Member lists are sorted by entity ID, making
-// the result independent of worker count and scheduling.
+// NewTokenIndexCtx builds the token index for a KB pair with two passes
+// over the entities per side: per-span occurrence counts (the CSR offsets)
+// and a scatter fill of the flat member arrays. Both passes run over
+// per-worker-local count arrays merged in span order — the BuildEFCtx
+// rewrite — instead of one shared array with an atomic RMW per token
+// occurrence: exact per-span write cursors make the fill regions disjoint
+// (no atomics) and leave every member list sorted by entity ID by
+// construction (ascending spans × ascending entities within a span), so the
+// per-token sort the atomic fill needed disappears entirely. The result is
+// independent of worker count and scheduling.
 func NewTokenIndexCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*TokenIndex, error) {
 	ix := &TokenIndex{}
 	d1, d2 := k1.TokenDict(), k2.TokenDict()
@@ -69,56 +73,20 @@ func NewTokenIndexCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*
 		ix.dict = joint
 	}
 	n := ix.dict.Len()
-	ce := e.Chunked()
-	counts1 := make([]int32, n)
-	counts2 := make([]int32, n)
-	countSide := func(ctx context.Context, k *kb.KB, t []int32, counts []int32) error {
-		return ce.ForCtx(ctx, k.Len(), func(i int) error {
-			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
-				s := slotOf(t, tid)
-				atomic.AddInt32(&counts[s], 1)
-			}
-			return nil
-		})
-	}
-	if err := countSide(ctx, k1, ix.t1, counts1); err != nil {
+	mem1, off1, err := memberFill(ctx, e, k1, ix.t1, n)
+	if err != nil {
 		return nil, err
 	}
-	if err := countSide(ctx, k2, ix.t2, counts2); err != nil {
-		return nil, err
-	}
-	off1 := offsets(counts1)
-	off2 := offsets(counts2)
-	mem1 := make([]kb.EntityID, off1[n])
-	mem2 := make([]kb.EntityID, off2[n])
-	fillSide := func(ctx context.Context, k *kb.KB, t []int32, cur []int32, mem []kb.EntityID) error {
-		return ce.ForCtx(ctx, k.Len(), func(i int) error {
-			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
-				s := slotOf(t, tid)
-				mem[atomic.AddInt32(&cur[s], 1)-1] = kb.EntityID(i)
-			}
-			return nil
-		})
-	}
-	// The fill pass reuses the offset arrays as atomic write cursors.
-	cur1 := slices.Clone(off1[:n])
-	cur2 := slices.Clone(off2[:n])
-	if err := fillSide(ctx, k1, ix.t1, cur1, mem1); err != nil {
-		return nil, err
-	}
-	if err := fillSide(ctx, k2, ix.t2, cur2, mem2); err != nil {
+	mem2, off2, err := memberFill(ctx, e, k2, ix.t2, n)
+	if err != nil {
 		return nil, err
 	}
 	ix.e1 = make([][]kb.EntityID, n)
 	ix.e2 = make([][]kb.EntityID, n)
 	ix.weight = make([]float64, n)
-	// Restore determinism after the scatter fill: concurrent chunks write a
-	// token's members in claim order, so each member list is sorted by ID.
-	err := ce.ForCtx(ctx, n, func(s int) error {
+	err = e.Chunked().ForCtx(ctx, n, func(s int) error {
 		m1 := mem1[off1[s]:off1[s+1]]
 		m2 := mem2[off2[s]:off2[s+1]]
-		slices.Sort(m1)
-		slices.Sort(m2)
 		ix.e1[s], ix.e2[s] = m1, m2
 		if len(m1) > 0 && len(m2) > 0 {
 			ix.weight[s] = stats.TokenWeight(len(m1), len(m2))
@@ -136,6 +104,105 @@ func NewTokenIndexCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*
 		}
 	}
 	return ix, nil
+}
+
+// memberFill builds one side's CSR member array over n token slots: a
+// per-span local counting pass merged in span order, then a scatter fill in
+// which the span at position j writes slot s starting at
+// off[s] + Σ_{j'<j} counts[j'][s]. Write regions are exact and disjoint, so
+// the fill needs no atomics, and because spans ascend and entities ascend
+// within a span, every member list comes out sorted by entity ID with no
+// per-slot sort. Static spans (the engine's own scheduler is honored, but
+// callers pass the static engine) bound the transient memory to one count
+// array per worker.
+func memberFill(ctx context.Context, e *parallel.Engine, k *kb.KB, t []int32, n int) ([]kb.EntityID, []int32, error) {
+	locals, err := parallel.MapSpansCtx(ctx, e, k.Len(), func(s parallel.Span) ([]int32, error) {
+		counts := make([]int32, n)
+		for i := s.Lo; i < s.Hi; i++ {
+			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+				counts[slotOf(t, tid)]++
+			}
+		}
+		return counts, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	totals := make([]int32, n)
+	for _, lc := range locals {
+		for s, c := range lc {
+			totals[s] += c
+		}
+	}
+	off := offsets(totals)
+	// Turn the local counts into per-span write cursors in place: an
+	// exclusive prefix sum over spans on top of the global offsets.
+	running := totals // reuse: totals[s] becomes the next write position
+	copy(running, off[:n])
+	for _, lc := range locals {
+		for s, c := range lc {
+			if c == 0 {
+				continue
+			}
+			lc[s] = running[s]
+			running[s] += c
+		}
+	}
+	mem := make([]kb.EntityID, off[n])
+	err = e.ForSpansIndexedCtx(ctx, k.Len(), func(pi int, s parallel.Span) error {
+		cur := locals[pi]
+		for i := s.Lo; i < s.Hi; i++ {
+			for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+				slot := slotOf(t, tid)
+				mem[cur[slot]] = kb.EntityID(i)
+				cur[slot]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mem, off, nil
+}
+
+// memberFillAtomic is the pre-refactor fill: one shared count array with an
+// atomic add per token occurrence under the chunked scheduler, then a
+// per-slot sort to restore determinism. Kept unexported as the reference
+// side of BenchmarkTokenIndexMembers and the agreement test.
+func memberFillAtomic(ctx context.Context, e *parallel.Engine, k *kb.KB, t []int32, n int) ([]kb.EntityID, []int32, error) {
+	ce := e.Chunked()
+	counts := make([]int32, n)
+	err := ce.ForCtx(ctx, k.Len(), func(i int) error {
+		for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+			atomic.AddInt32(&counts[slotOf(t, tid)], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	off := offsets(counts)
+	mem := make([]kb.EntityID, off[n])
+	cur := slices.Clone(off[:n])
+	err = ce.ForCtx(ctx, k.Len(), func(i int) error {
+		for _, tid := range k.Entity(kb.EntityID(i)).TokenIDs() {
+			s := slotOf(t, tid)
+			mem[atomic.AddInt32(&cur[s], 1)-1] = kb.EntityID(i)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	err = ce.ForCtx(ctx, n, func(s int) error {
+		slices.Sort(mem[off[s]:off[s+1]])
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mem, off, nil
 }
 
 // NewTokenIndex is NewTokenIndexCtx without cancellation.

@@ -1,10 +1,12 @@
 package blocking
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
 
+	"minoaner/internal/datagen"
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
 	"minoaner/internal/testkb"
@@ -182,4 +184,68 @@ func TestComparisonBudget(t *testing.T) {
 	if got := ComparisonBudget(10, 10, -1); got != 0 {
 		t.Errorf("negative fraction budget = %d, want 0 (disabled)", got)
 	}
+}
+
+// The local-count/deterministic-fill member pass must reproduce the atomic
+// reference exactly — same offsets, same (sorted) member arrays — for any
+// worker count and either scheduler.
+func TestMemberFillStrategiesAgree(t *testing.T) {
+	w, d := testkb.Figure1()
+	joint := kb.NewInterner()
+	for _, k := range []*kb.KB{w, d} {
+		t1 := make([]int32, 0)
+		if dict := k.TokenDict(); dict != nil {
+			for id := 0; id < dict.Len(); id++ {
+				t1 = append(t1, int32(joint.Intern(dict.TokenString(kb.TokenID(id)))))
+			}
+		}
+		n := joint.Len()
+		for _, e := range []*parallel.Engine{parallel.Sequential(), parallel.New(3), parallel.New(7).Chunked()} {
+			mem, off, err := memberFill(t.Context(), e, k, t1, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refMem, refOff, err := memberFillAtomic(t.Context(), e, k, t1, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(off, refOff) {
+				t.Fatalf("workers=%d: offsets differ", e.Workers())
+			}
+			if !reflect.DeepEqual(mem, refMem) {
+				t.Fatalf("workers=%d: member arrays differ\nlocal:  %v\natomic: %v", e.Workers(), mem, refMem)
+			}
+		}
+	}
+}
+
+// BenchmarkTokenIndexMembers compares the member-fill pass before and after
+// the per-worker-local rewrite: "atomic" is the shared-array variant with
+// one atomic RMW per token occurrence plus the per-slot sort it needs,
+// "local" the span-local counts merged in span order with a sorted-by-
+// construction scatter fill (the NewTokenIndexCtx path).
+func BenchmarkTokenIndexMembers(b *testing.B) {
+	d, err := datagen.Generate(datagen.Scale(datagen.RexaDBLP(), 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := d.K2 // the big side: 15k entities' worth of token occurrences
+	n := k.TokenDict().Len()
+	eng := parallel.New(0)
+	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := memberFill(context.Background(), eng, k, nil, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("atomic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := memberFillAtomic(context.Background(), eng, k, nil, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -128,8 +128,15 @@ type Timings struct {
 	StatsTopNeighbors time.Duration
 	Blocking          time.Duration
 	Graph             time.Duration
-	Matching          time.Duration
-	Total             time.Duration
+	// GraphBeta covers name evidence plus both β directions (one concurrent
+	// barrier); GraphGamma the adjacency merges, in-neighbor reversals and
+	// both γ directions — in the sharded pipeline including the E1 γ rows
+	// produced on demand during matching. They sum to slightly less than
+	// Graph, which also counts input assembly around the two phases.
+	GraphBeta  time.Duration
+	GraphGamma time.Duration
+	Matching   time.Duration
+	Total      time.Duration
 }
 
 // Output is the result of one pipeline run.
@@ -282,9 +289,10 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
 	out.Timings.Blocking = time.Since(t0)
 
-	// Stage 3 — disjunctive blocking graph (Algorithm 1).
+	// Stage 3 — disjunctive blocking graph (Algorithm 1), with the β and γ
+	// weighting phases timed separately for the regression gate.
 	t0 = time.Now()
-	g, err := graph.BuildCtx(ctx, eng, graph.Input{
+	g, gt, err := graph.BuildTimedCtx(ctx, eng, graph.Input{
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
 		TokenBlocks: tokenBlocks,
@@ -298,6 +306,8 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 	}
 	out.GraphEdges = g.Edges()
 	out.Timings.Graph = time.Since(t0)
+	out.Timings.GraphBeta = gt.Beta
+	out.Timings.GraphGamma = gt.Gamma
 
 	// Stage 4 — non-iterative matching (Algorithm 2).
 	t0 = time.Now()

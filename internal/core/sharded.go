@@ -184,7 +184,7 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 	// and the E2-side γ lists are materialized; the E1-side γ rows are left
 	// to the scope and produced per shard during matching.
 	t0 = time.Now()
-	g, scope, err := graph.BuildShardedCtx(ctx, eng, graph.Input{
+	g, scope, gt, err := graph.BuildShardedCtx(ctx, eng, graph.Input{
 		K1: k1, K2: k2,
 		NameBlocks:  nameBlocks,
 		TokenBlocks: tokenBlocks,
@@ -197,6 +197,8 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 		return nil, err
 	}
 	out.Timings.Graph = time.Since(t0)
+	out.Timings.GraphBeta = gt.Beta
+	out.Timings.GraphGamma = gt.Gamma
 
 	// Stage 4 — matching. The γ rows of each shard are built on demand; the
 	// time spent inside the scope is accounted to the graph stage and the
@@ -227,6 +229,7 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 	out.RemovedByR4 = res.RemovedByR4
 	out.GraphEdges = g.Edges() + gamma1Edges
 	out.Timings.Graph += gammaTime
+	out.Timings.GraphGamma += gammaTime
 	out.Timings.Matching = time.Since(t0) - gammaTime
 
 	out.Timings.Total = time.Since(start)

@@ -26,14 +26,18 @@ type BenchResult struct {
 	Workers int    `json:"workers"`
 	Runs    int    `json:"runs"`
 	// Stage timings in milliseconds (best of Runs, per stage independently).
-	// The statistics stage also reports its three sub-stages so the
-	// regression gate can pin the columnar statistics substrate per pass.
+	// The statistics stage also reports its three sub-stages, and the graph
+	// stage its two weighting phases (β incl. name evidence, γ incl. the
+	// adjacency merges), so the regression gate can pin the columnar
+	// substrates per pass.
 	StatisticsMS        float64 `json:"statistics_ms"`
 	StatsAttributesMS   float64 `json:"stats_attributes_ms"`
 	StatsRelationsMS    float64 `json:"stats_relations_ms"`
 	StatsTopNeighborsMS float64 `json:"stats_topneighbors_ms"`
 	BlockingMS          float64 `json:"blocking_ms"`
 	GraphMS             float64 `json:"graph_ms"`
+	GraphBetaMS         float64 `json:"graph_beta_ms"`
+	GraphGammaMS        float64 `json:"graph_gamma_ms"`
 	MatchingMS          float64 `json:"matching_ms"`
 	TotalMS             float64 `json:"total_ms"`
 	// PeakHeapMB is the maximum live-heap sample observed during one extra,
@@ -46,6 +50,10 @@ type BenchResult struct {
 	// ShardRuns holds one entry per requested shard count: the same pipeline
 	// under core.ResolveSharded, timed and heap-sampled the same way.
 	ShardRuns []ShardRun `json:"shard_runs,omitempty"`
+	// WorkerRuns holds one entry per requested extra worker count — by
+	// default one data point at workers=GOMAXPROCS next to the 1-core
+	// primary run, so the regression gate also watches parallel scaling.
+	WorkerRuns []WorkerRun `json:"worker_runs,omitempty"`
 }
 
 // ShardRun is one sharded-execution data point of a dataset: ResolveSharded
@@ -56,6 +64,28 @@ type ShardRun struct {
 	TotalMS    float64 `json:"total_ms"`
 	PeakHeapMB float64 `json:"peak_heap_mb"`
 	Matches    int     `json:"matches"`
+}
+
+// WorkerRun is one parallel-scaling data point of a dataset: the same
+// monolithic pipeline at a different engine size. The gate compares the
+// TOTAL time against the baseline entry and requires Matches to equal the
+// primary run's (worker-count determinism); the per-stage times are
+// recorded for diagnosis only — on a busy CI box individual parallel
+// stages jitter too much to gate.
+type WorkerRun struct {
+	// Workers is the REQUESTED engine size and the gate's matching key; 0
+	// means "all cores", kept symbolic so a baseline recorded on one
+	// machine still matches a current run on a machine with a different
+	// core count. ResolvedWorkers records what the request meant on the
+	// recording box (informational only, never compared).
+	Workers         int     `json:"workers"`
+	ResolvedWorkers int     `json:"resolved_workers,omitempty"`
+	StatisticsMS    float64 `json:"statistics_ms"`
+	BlockingMS      float64 `json:"blocking_ms"`
+	GraphMS         float64 `json:"graph_ms"`
+	MatchingMS      float64 `json:"matching_ms"`
+	TotalMS         float64 `json:"total_ms"`
+	Matches         int     `json:"matches"`
 }
 
 // BenchReport is the JSON document `cmd/experiments -bench` emits
@@ -73,8 +103,10 @@ type BenchReport struct {
 // the generated ground truth, and a heap-peak sample from one extra untimed
 // repetition. For every entry of shardCounts it additionally benchmarks
 // core.ResolveSharded at that shard count (total wall clock, heap peak, and
-// the match count, which must equal the monolithic one).
-func (s *Suite) Bench(reps int, shardCounts []int) (*BenchReport, error) {
+// the match count, which must equal the monolithic one), and for every
+// entry of workerCounts (0 = all cores) the monolithic pipeline at that
+// engine size — the parallel-scaling data points.
+func (s *Suite) Bench(reps int, shardCounts, workerCounts []int) (*BenchReport, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -101,42 +133,26 @@ func (s *Suite) Bench(reps int, shardCounts []int) (*BenchReport, error) {
 		if s.opts.Workers > 0 {
 			r.Workers = s.opts.Workers
 		}
-		best := core.Timings{}
-		for i := 0; i < reps; i++ {
-			out, err := core.Resolve(d.K1, d.K2, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t := out.Timings
-			keep := func(dst *time.Duration, v time.Duration) {
-				if i == 0 || v < *dst {
-					*dst = v
-				}
-			}
-			keep(&best.Statistics, t.Statistics)
-			keep(&best.StatsAttributes, t.StatsAttributes)
-			keep(&best.StatsRelations, t.StatsRelations)
-			keep(&best.StatsTopNeighbors, t.StatsTopNeighbors)
-			keep(&best.Blocking, t.Blocking)
-			keep(&best.Graph, t.Graph)
-			keep(&best.Matching, t.Matching)
-			keep(&best.Total, t.Total)
-			if i == 0 {
-				r.Matches = len(out.Matches)
-				pairs := make([]eval.Pair, len(out.Matches))
-				for j, m := range out.Matches {
-					pairs[j] = m.Pair
-				}
-				r.F1 = eval.Evaluate(pairs, d.GT).F1
-			}
+		best, first, err := resolveBest(reps, func() (*core.Output, error) {
+			return core.Resolve(d.K1, d.K2, cfg)
+		})
+		if err != nil {
+			return nil, err
 		}
-		ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+		r.Matches = len(first.Matches)
+		pairs := make([]eval.Pair, len(first.Matches))
+		for j, m := range first.Matches {
+			pairs[j] = m.Pair
+		}
+		r.F1 = eval.Evaluate(pairs, d.GT).F1
 		r.StatisticsMS = ms(best.Statistics)
 		r.StatsAttributesMS = ms(best.StatsAttributes)
 		r.StatsRelationsMS = ms(best.StatsRelations)
 		r.StatsTopNeighborsMS = ms(best.StatsTopNeighbors)
 		r.BlockingMS = ms(best.Blocking)
 		r.GraphMS = ms(best.Graph)
+		r.GraphBetaMS = ms(best.GraphBeta)
+		r.GraphGammaMS = ms(best.GraphGamma)
 		r.MatchingMS = ms(best.Matching)
 		r.TotalMS = ms(best.Total)
 		peak, err := sampleHeapPeak(func() error {
@@ -154,29 +170,54 @@ func (s *Suite) Bench(reps int, shardCounts []int) (*BenchReport, error) {
 			}
 			r.ShardRuns = append(r.ShardRuns, sr)
 		}
+		for _, w := range workerCounts {
+			wr, err := benchWorkers(d, cfg, reps, w)
+			if err != nil {
+				return nil, err
+			}
+			r.WorkerRuns = append(r.WorkerRuns, wr)
+		}
 		report.Results = append(report.Results, r)
 	}
 	return report, nil
+}
+
+// benchWorkers times the monolithic pipeline at one worker count (0 = all
+// cores), keeping the fastest of reps per stage. The requested count is the
+// record's identity; the resolved count is informational.
+func benchWorkers(d *datagen.Dataset, cfg core.Config, reps, workers int) (WorkerRun, error) {
+	cfg.Workers = workers
+	wr := WorkerRun{Workers: workers, ResolvedWorkers: workers}
+	if workers == 0 {
+		wr.ResolvedWorkers = runtime.GOMAXPROCS(0)
+	}
+	best, first, err := resolveBest(reps, func() (*core.Output, error) {
+		return core.Resolve(d.K1, d.K2, cfg)
+	})
+	if err != nil {
+		return wr, err
+	}
+	wr.Matches = len(first.Matches)
+	wr.StatisticsMS = ms(best.Statistics)
+	wr.BlockingMS = ms(best.Blocking)
+	wr.GraphMS = ms(best.Graph)
+	wr.MatchingMS = ms(best.Matching)
+	wr.TotalMS = ms(best.Total)
+	return wr, nil
 }
 
 // benchSharded times core.ResolveSharded at one shard count (best of reps)
 // and heap-samples one extra repetition.
 func (s *Suite) benchSharded(d *datagen.Dataset, cfg core.Config, reps, shards int) (ShardRun, error) {
 	sr := ShardRun{Shards: shards}
-	var bestTotal time.Duration
-	for i := 0; i < reps; i++ {
-		out, err := core.ResolveSharded(context.Background(), d.K1, d.K2, cfg, shards)
-		if err != nil {
-			return sr, err
-		}
-		if i == 0 || out.Timings.Total < bestTotal {
-			bestTotal = out.Timings.Total
-		}
-		if i == 0 {
-			sr.Matches = len(out.Matches)
-		}
+	best, first, err := resolveBest(reps, func() (*core.Output, error) {
+		return core.ResolveSharded(context.Background(), d.K1, d.K2, cfg, shards)
+	})
+	if err != nil {
+		return sr, err
 	}
-	sr.TotalMS = float64(bestTotal.Microseconds()) / 1000
+	sr.Matches = len(first.Matches)
+	sr.TotalMS = ms(best.Total)
 	peak, err := sampleHeapPeak(func() error {
 		_, err := core.ResolveSharded(context.Background(), d.K1, d.K2, cfg, shards)
 		return err
@@ -187,6 +228,48 @@ func (s *Suite) benchSharded(d *datagen.Dataset, cfg core.Config, reps, shards i
 	sr.PeakHeapMB = mb(peak)
 	return sr, nil
 }
+
+// resolveBest runs fn reps times and returns the field-wise minimum of the
+// per-stage timings — the best-of-reps rule every bench record shares —
+// plus the first repetition's output (for match counts and F1).
+func resolveBest(reps int, fn func() (*core.Output, error)) (core.Timings, *core.Output, error) {
+	var best core.Timings
+	var first *core.Output
+	for i := 0; i < reps; i++ {
+		out, err := fn()
+		if err != nil {
+			return best, nil, err
+		}
+		if i == 0 {
+			first, best = out, out.Timings
+			continue
+		}
+		minStages(&best, out.Timings)
+	}
+	return best, first, nil
+}
+
+// minStages lowers every stage of dst to its minimum with t.
+func minStages(dst *core.Timings, t core.Timings) {
+	keep := func(d *time.Duration, v time.Duration) {
+		if v < *d {
+			*d = v
+		}
+	}
+	keep(&dst.Statistics, t.Statistics)
+	keep(&dst.StatsAttributes, t.StatsAttributes)
+	keep(&dst.StatsRelations, t.StatsRelations)
+	keep(&dst.StatsTopNeighbors, t.StatsTopNeighbors)
+	keep(&dst.Blocking, t.Blocking)
+	keep(&dst.Graph, t.Graph)
+	keep(&dst.GraphBeta, t.GraphBeta)
+	keep(&dst.GraphGamma, t.GraphGamma)
+	keep(&dst.Matching, t.Matching)
+	keep(&dst.Total, t.Total)
+}
+
+// ms converts a duration to the report's millisecond unit.
+func ms(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
 
 func mb(bytes uint64) float64 { return float64(bytes) / (1 << 20) }
 
@@ -264,8 +347,25 @@ func FormatBench(r *BenchReport) string {
 			fmt.Fprintf(&sb, "  %-16s %49.1f %9.1f %9d\n",
 				fmt.Sprintf("shards=%d", sr.Shards), sr.TotalMS, sr.PeakHeapMB, sr.Matches)
 		}
+		for _, wr := range x.WorkerRuns {
+			fmt.Fprintf(&sb, "  %-16s %9.1f %9.1f %9.1f %9.1f %9.1f %19d\n",
+				"workers="+workersLabel(wr.Workers, wr.ResolvedWorkers), wr.StatisticsMS,
+				wr.BlockingMS, wr.GraphMS, wr.MatchingMS, wr.TotalMS, wr.Matches)
+		}
 	}
 	return sb.String()
+}
+
+// workersLabel renders a requested worker count, keeping the symbolic
+// "all cores" request readable alongside what it resolved to.
+func workersLabel(requested, resolved int) string {
+	if requested == 0 {
+		if resolved > 0 {
+			return fmt.Sprintf("all(%d)", resolved)
+		}
+		return "all"
+	}
+	return fmt.Sprint(requested)
 }
 
 func plural(rs []BenchResult) string {

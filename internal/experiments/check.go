@@ -38,10 +38,11 @@ func ReadBenchJSON(path string) (*BenchReport, error) {
 //     max(baseline, checkFloorMS) × maxRatio, so sub-floor stages are judged
 //     against the noise floor rather than ignored outright;
 //   - sharded total timings are held to the same rule against their own
-//     baseline entry (matched by shard count);
+//     baseline entry (matched by shard count), and worker-run totals against
+//     theirs (matched by worker count) — the parallel-scaling watch;
 //   - effectiveness must not silently degrade: F1 may drop at most 0.05
-//     absolute, and a sharded run must reproduce the monolithic match count
-//     of its own report (the byte-identity contract);
+//     absolute, and every sharded and worker run must reproduce the primary
+//     run's match count (the byte-identity contract);
 //   - the reports must be comparable at all: same scale, and every baseline
 //     dataset present in the current report.
 //
@@ -74,6 +75,8 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 				{"stats/topneighbors", b.StatsTopNeighborsMS, c.StatsTopNeighborsMS},
 				{"blocking", b.BlockingMS, c.BlockingMS},
 				{"graph", b.GraphMS, c.GraphMS},
+				{"graph/beta", b.GraphBetaMS, c.GraphBetaMS},
+				{"graph/gamma", b.GraphGammaMS, c.GraphGammaMS},
 				{"matching", b.MatchingMS, c.MatchingMS},
 				{"total", b.TotalMS, c.TotalMS},
 			}
@@ -103,6 +106,27 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 						b.Dataset, cs.Shards, cs.Matches, c.Matches)
 				}
 			}
+			// Worker runs are matched by the REQUESTED count (0 = all
+			// cores), never the resolved one, so a baseline recorded on an
+			// N-core box still gates a run on an M-core box.
+			for _, bw := range b.WorkerRuns {
+				cw := findWorkerRun(c, bw.Workers)
+				if cw == nil {
+					failf("%s: workers=%s present in baseline but not in current run",
+						b.Dataset, workersLabel(bw.Workers, bw.ResolvedWorkers))
+					continue
+				}
+				if eb := max(bw.TotalMS, checkFloorMS); cw.TotalMS > eb*maxRatio {
+					failf("%s: workers=%s total %.1fms exceeds %.1fms baseline (floored to %.1fms) ×%.1f tolerance",
+						b.Dataset, workersLabel(bw.Workers, cw.ResolvedWorkers), cw.TotalMS, bw.TotalMS, eb, maxRatio)
+				}
+			}
+			for _, cw := range c.WorkerRuns {
+				if cw.Matches != c.Matches {
+					failf("%s: workers=%s produced %d matches, primary run produced %d (determinism broken)",
+						b.Dataset, workersLabel(cw.Workers, cw.ResolvedWorkers), cw.Matches, c.Matches)
+				}
+			}
 		}
 	}
 	if len(fails) == 0 {
@@ -124,6 +148,15 @@ func findShardRun(r *BenchResult, shards int) *ShardRun {
 	for i := range r.ShardRuns {
 		if r.ShardRuns[i].Shards == shards {
 			return &r.ShardRuns[i]
+		}
+	}
+	return nil
+}
+
+func findWorkerRun(r *BenchResult, workers int) *WorkerRun {
+	for i := range r.WorkerRuns {
+		if r.WorkerRuns[i].Workers == workers {
+			return &r.WorkerRuns[i]
 		}
 	}
 	return nil

@@ -11,9 +11,11 @@ func baseReport() *BenchReport {
 		Date: "2026-01-01", Scale: 0.25,
 		Results: []BenchResult{{
 			Dataset:      "Restaurant",
-			StatisticsMS: 40, BlockingMS: 20, GraphMS: 30, MatchingMS: 4, TotalMS: 100,
+			StatisticsMS: 40, BlockingMS: 20, GraphMS: 30,
+			GraphBetaMS: 18, GraphGammaMS: 11, MatchingMS: 4, TotalMS: 100,
 			Matches: 50, F1: 0.93,
-			ShardRuns: []ShardRun{{Shards: 8, TotalMS: 110, Matches: 50}},
+			ShardRuns:  []ShardRun{{Shards: 8, TotalMS: 110, Matches: 50}},
+			WorkerRuns: []WorkerRun{{Workers: 4, TotalMS: 40, Matches: 50}},
 		}},
 	}
 }
@@ -37,6 +39,60 @@ func TestCheckBenchFailsOnStageRegression(t *testing.T) {
 	err := CheckBench(cur, base, 2.0)
 	if err == nil || !strings.Contains(err.Error(), "graph stage") {
 		t.Errorf("2×+ graph regression not caught: %v", err)
+	}
+}
+
+// The graph sub-stages are gated individually: a β blowup hiding inside a
+// still-tolerable aggregate graph time must fail.
+func TestCheckBenchFailsOnGraphSubStageRegression(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Results[0].GraphBetaMS = base.Results[0].GraphBetaMS*2 + 1
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "graph/beta stage") {
+		t.Errorf("2×+ graph/beta regression not caught: %v", err)
+	}
+	cur = baseReport()
+	// γ baseline (11ms) just above the floor: 2×+ fails.
+	cur.Results[0].GraphGammaMS = 23
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "graph/gamma stage") {
+		t.Errorf("2×+ graph/gamma regression not caught: %v", err)
+	}
+}
+
+// Worker runs are gated like shard runs: a parallel-scaling blowup fails
+// against the matching baseline entry, and the match count must reproduce
+// the primary run's.
+func TestCheckBenchGatesWorkerRuns(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	cur.Results[0].WorkerRuns[0].TotalMS = 99 // > 2 × max(40, floor)
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "workers=4 total") {
+		t.Errorf("worker-run regression not caught: %v", err)
+	}
+	cur = baseReport()
+	cur.Results[0].WorkerRuns[0].Matches = 49
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("worker-run match divergence not caught: %v", err)
+	}
+	cur = baseReport()
+	cur.Results[0].WorkerRuns = nil
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "workers=4 present in baseline") {
+		t.Errorf("missing worker run not caught: %v", err)
+	}
+	// Matching is by the REQUESTED count: an all-cores (0) baseline entry
+	// from a 1-core box must match an all-cores current entry from a 4-core
+	// box — the resolved counts are informational only.
+	base = baseReport()
+	base.Results[0].WorkerRuns[0] = WorkerRun{Workers: 0, ResolvedWorkers: 1, TotalMS: 40, Matches: 50}
+	cur = baseReport()
+	cur.Results[0].WorkerRuns[0] = WorkerRun{Workers: 0, ResolvedWorkers: 4, TotalMS: 35, Matches: 50}
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("all-cores worker runs with different resolved counts failed the gate: %v", err)
 	}
 }
 
@@ -120,7 +176,7 @@ func TestBenchWithShardSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := s.Bench(1, []int{1, 4})
+	report, err := s.Bench(1, []int{1, 4}, []int{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,6 +188,12 @@ func TestBenchWithShardSweep(t *testing.T) {
 		if sr.Matches != r.Matches {
 			t.Errorf("shards=%d matches %d != monolithic %d", sr.Shards, sr.Matches, r.Matches)
 		}
+	}
+	if len(r.WorkerRuns) != 1 {
+		t.Fatalf("worker runs = %+v, want 1", r.WorkerRuns)
+	}
+	if r.WorkerRuns[0].Matches != r.Matches {
+		t.Errorf("worker run matches %d != primary %d", r.WorkerRuns[0].Matches, r.Matches)
 	}
 	if err := CheckBench(report, report, 2.0); err != nil {
 		t.Errorf("report failed self-check: %v", err)

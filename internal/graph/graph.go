@@ -19,6 +19,7 @@ import (
 	"cmp"
 	"context"
 	"slices"
+	"time"
 
 	"minoaner/internal/blocking"
 	"minoaner/internal/kb"
@@ -65,6 +66,18 @@ type Input struct {
 	K int
 }
 
+// Timings records the wall clock of the two weighting phases of Algorithm 1
+// — the sub-stage split the benchmark-regression gate pins (graph_beta_ms /
+// graph_gamma_ms, mirroring the statistics sub-stages).
+type Timings struct {
+	// Beta covers name evidence and both β directions: they run concurrently
+	// (Figure 4), so they are timed as one barrier. Gamma covers the
+	// adjacency merges, the in-neighbor reversals and both γ directions; in
+	// the sharded pipeline the deferred E1 γ rows are added by the caller as
+	// they are produced.
+	Beta, Gamma time.Duration
+}
+
 // BuildCtx runs Algorithm 1: name evidence, value evidence, neighbor
 // evidence, with top-K pruning per node. All three stages are data-parallel
 // over entities; stage boundaries are synchronization barriers exactly as in
@@ -73,36 +86,47 @@ type Input struct {
 // so the β and γ passes run under the dynamic chunked scheduler. The first
 // error — in practice only ctx cancellation — aborts all stages.
 func BuildCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, error) {
+	g, _, err := BuildTimedCtx(ctx, e, in)
+	return g, err
+}
+
+// BuildTimedCtx is BuildCtx with the per-phase wall clock reported back.
+func BuildTimedCtx(ctx context.Context, e *parallel.Engine, in Input) (*Graph, Timings, error) {
 	g := &Graph{
 		Alpha1: make([][]kb.EntityID, in.K1.Len()),
 		Alpha2: make([][]kb.EntityID, in.K2.Len()),
 	}
+	var tm Timings
 	ce := e.Chunked()
 	ix := resolveIndex(in)
 	var beta1, beta2 [][]Edge
+	t0 := time.Now()
 	// Name evidence and the two directions of value evidence are mutually
 	// independent (Figure 4 runs them concurrently).
 	err := e.ConcurrentCtx(ctx,
 		func(context.Context) error { g.buildAlpha(in); return nil },
 		func(sc context.Context) error {
 			var err error
-			beta1, err = buildBeta(sc, ce, ix, in.K1, true, in.K)
+			beta1, err = buildBeta(sc, ce, ix, in.K1, in.K2.Len(), true, in.K)
 			return err
 		},
 		func(sc context.Context) error {
 			var err error
-			beta2, err = buildBeta(sc, ce, ix, in.K2, false, in.K)
+			beta2, err = buildBeta(sc, ce, ix, in.K2, in.K1.Len(), false, in.K)
 			return err
 		},
 	)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	tm.Beta = time.Since(t0)
 	g.Beta1, g.Beta2 = beta1, beta2
+	t0 = time.Now()
 	if err := g.buildGamma(ctx, ce, in); err != nil {
-		return nil, err
+		return nil, tm, err
 	}
-	return g, nil
+	tm.Gamma = time.Since(t0)
+	return g, tm, nil
 }
 
 // Build is BuildCtx without cancellation.
@@ -161,16 +185,49 @@ func (g *Graph) buildAlpha(in Input) {
 // 1/log2(|b1|·|b2|+1): since token-block side sizes equal the per-KB entity
 // frequencies, summing over shared blocks yields exactly Def. 2.1. The walk
 // is purely columnar — token IDs into CSR member arrays with weights
-// precomputed once per index — with no string hashing per (entity, token).
-func buildBeta(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int) ([][]Edge, error) {
-	return buildBetaSpan(ctx, e, ix, from, fromIsE1, k, parallel.Span{Lo: 0, Hi: from.Len()})
+// precomputed once per index, scattered into a per-worker scoreboard over
+// the other KB's entity IDs (otherLen) — with no string hashing and no map
+// insertion per (entity, token).
+func buildBeta(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, otherLen int, fromIsE1 bool, k int) ([][]Edge, error) {
+	return buildBetaSpan(ctx, e, ix, from, otherLen, fromIsE1, k, parallel.Span{Lo: 0, Hi: from.Len()})
+}
+
+// BetaRowsCtx computes one side's full β candidate rows — the value-evidence
+// phase in isolation, exported for the stage benchmarks that guard it.
+// otherLen is the entity count of the OTHER KB (the candidate ID space);
+// BuildCtx composes this with the α and γ phases.
+func BetaRowsCtx(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, otherLen int, fromIsE1 bool, k int) ([][]Edge, error) {
+	return buildBeta(ctx, e, ix, from, otherLen, fromIsE1, k)
 }
 
 // buildBetaSpan computes the β rows of one contiguous entity span, returning
 // s.Len() rows (row i describes entity s.Lo+i). Rows are per-entity
 // independent, so concatenating span results in span order is identical to
 // one full-range pass — the invariant sharded construction relies on.
-func buildBetaSpan(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int, s parallel.Span) ([][]Edge, error) {
+//
+// Accumulation order per candidate is the token-walk order, identical to the
+// historical map accumulation, so per-candidate float sums — and with them
+// every retained weight — are bit-identical to buildBetaSpanMap.
+func buildBetaSpan(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, otherLen int, fromIsE1 bool, k int, s parallel.Span) ([][]Edge, error) {
+	return parallel.MapLocalCtx(ctx, e, s.Len(),
+		func() *boardScratch { return newBoardScratch(otherLen, k) },
+		func(sc *boardScratch, i int) ([]Edge, error) {
+			d := from.Entity(kb.EntityID(s.Lo + i))
+			board := sc.board
+			ix.ForEachShared(d, fromIsE1, func(w float64, others []kb.EntityID) {
+				for _, o := range others {
+					board.Add(o, w)
+				}
+			})
+			return sc.row(k), nil
+		})
+}
+
+// buildBetaSpanMap is the retained map-based reference implementation of
+// buildBetaSpan — a freshly allocated accumulator per entity, full sort in
+// topK. The property tests pin the scoreboard path to it row for row, and
+// the graph benchmarks keep the before/after comparison honest.
+func buildBetaSpanMap(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIndex, from *kb.KB, fromIsE1 bool, k int, s parallel.Span) ([][]Edge, error) {
 	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]Edge, error) {
 		d := from.Entity(kb.EntityID(s.Lo + i))
 		var acc map[kb.EntityID]float64
@@ -188,7 +245,8 @@ func buildBetaSpan(ctx context.Context, e *parallel.Engine, ix *blocking.TokenIn
 
 // topK selects the k highest-weighted candidates, breaking ties by entity ID
 // for determinism, and returns them sorted by decreasing weight. Zero
-// weights are dropped (pruning of trivial edges, §3.3).
+// weights are dropped (pruning of trivial edges, §3.3). Retained as the
+// map-based reference side of the topKBoard property tests.
 func topK(acc map[kb.EntityID]float64, k int) []Edge {
 	if len(acc) == 0 || k <= 0 {
 		return nil
@@ -199,12 +257,7 @@ func topK(acc map[kb.EntityID]float64, k int) []Edge {
 			edges = append(edges, Edge{to, w})
 		}
 	}
-	slices.SortFunc(edges, func(a, b Edge) int {
-		if a.Weight != b.Weight {
-			return cmp.Compare(b.Weight, a.Weight)
-		}
-		return cmp.Compare(a.To, b.To)
-	})
+	slices.SortFunc(edges, edgeCmp)
 	if len(edges) > k {
 		edges = edges[:k]
 	}
@@ -217,8 +270,8 @@ func topK(acc map[kb.EntityID]float64, k int) []Edge {
 // (pruned) β-edges of both directions feed the propagation, merged into one
 // undirected adjacency so no contribution is double counted.
 func (g *Graph) buildGamma(ctx context.Context, e *parallel.Engine, in Input) error {
-	adj1 := mergeAdjacency(g.Beta1, g.Beta2, in.K1.Len())
-	adj2 := mergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
+	adj1 := MergeAdjacency(g.Beta1, g.Beta2, in.K1.Len())
+	adj2 := MergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
 
 	// getTopInNeighbors (Algorithm 1, lines 44–47): in1[x] lists the E1
 	// entities that have x among their top neighbors.
@@ -243,10 +296,41 @@ func (g *Graph) buildGamma(ctx context.Context, e *parallel.Engine, in Input) er
 // gammaRows computes the γ candidate rows of one side for a contiguous node
 // span: row i holds the pruned neighbor-similarity candidates of node s.Lo+i.
 // top is the side's own top-neighbor lists, adj its merged undirected β
-// adjacency, and inOther the reverse top-neighbor index of the OTHER side.
-// Rows are per-node independent, so span concatenation in order reproduces
-// the full-range pass exactly.
+// adjacency, and inOther the reverse top-neighbor index of the OTHER side —
+// whose length is also the candidate ID space the per-worker scoreboard
+// covers. Rows are per-node independent, so span concatenation in order
+// reproduces the full-range pass exactly; per-candidate sums follow the same
+// neighbor-walk order as the retained map reference (gammaRowsMap), keeping
+// the weights bit-identical.
 func gammaRows(ctx context.Context, e *parallel.Engine, s parallel.Span, top [][]kb.EntityID, adj [][]Edge, inOther [][]kb.EntityID, k int) ([][]Edge, error) {
+	return parallel.MapLocalCtx(ctx, e, s.Len(),
+		func() *boardScratch { return newBoardScratch(len(inOther), k) },
+		func(sc *boardScratch, i int) ([]Edge, error) {
+			board := sc.board
+			for _, na := range top[s.Lo+i] {
+				for _, edge := range adj[na] {
+					for _, b := range inOther[edge.To] {
+						board.Add(b, edge.Weight)
+					}
+				}
+			}
+			return sc.row(k), nil
+		})
+}
+
+// GammaRowsCtx computes one side's full γ candidate rows from its
+// top-neighbor lists, its merged undirected β adjacency (MergeAdjacency) and
+// the reverse top-neighbor index of the other side (stats.TopInNeighbors) —
+// the neighbor-evidence phase in isolation, exported for the stage
+// benchmarks that guard it.
+func GammaRowsCtx(ctx context.Context, e *parallel.Engine, top [][]kb.EntityID, adj [][]Edge, inOther [][]kb.EntityID, k int) ([][]Edge, error) {
+	return gammaRows(ctx, e, parallel.Span{Lo: 0, Hi: len(top)}, top, adj, inOther, k)
+}
+
+// gammaRowsMap is the retained map-based reference implementation of
+// gammaRows, the pin of the scoreboard property tests and the "before" side
+// of the γ benchmarks.
+func gammaRowsMap(ctx context.Context, e *parallel.Engine, s parallel.Span, top [][]kb.EntityID, adj [][]Edge, inOther [][]kb.EntityID, k int) ([][]Edge, error) {
 	return parallel.MapCtx(ctx, e, s.Len(), func(i int) ([]Edge, error) {
 		var acc map[kb.EntityID]float64
 		for _, na := range top[s.Lo+i] {
@@ -267,13 +351,13 @@ func gammaRows(ctx context.Context, e *parallel.Engine, s parallel.Span, top [][
 	})
 }
 
-// mergeAdjacency merges the directed retained β-edges of both directions
+// MergeAdjacency merges the directed retained β-edges of both directions
 // into an undirected adjacency for one side: out[x] holds each neighbor y at
 // most once with its β weight, sorted by entity ID. When both directions
 // retained the edge (x, y) their β weights coincide (valueSim is symmetric),
 // but the dedup is still made deterministic by sorting ties on descending
 // weight before compacting — the kept edge never depends on input order.
-func mergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
+func MergeAdjacency(own [][]Edge, reverse [][]Edge, n int) [][]Edge {
 	out := make([][]Edge, n)
 	for x := range own {
 		out[x] = append(out[x], own[x]...)

@@ -229,7 +229,7 @@ func TestTopKProperty(t *testing.T) {
 func TestMergeAdjacency(t *testing.T) {
 	beta1 := [][]Edge{{{To: 0, Weight: 1.0}, {To: 1, Weight: 0.5}}}
 	beta2 := [][]Edge{{{To: 0, Weight: 1.0}}, {}} // E2 node 0 retains edge to E1 node 0
-	adj := mergeAdjacency(beta1, beta2, 1)
+	adj := MergeAdjacency(beta1, beta2, 1)
 	if len(adj[0]) != 2 {
 		t.Fatalf("adj[0] = %v, want deduped 2 edges", adj[0])
 	}
@@ -243,11 +243,11 @@ func TestMergeAdjacency(t *testing.T) {
 // weights coincide because valueSim is symmetric; the tie rule makes the
 // merge order-insensitive by construction, not by accident.)
 func TestMergeAdjacencyTieBreaking(t *testing.T) {
-	ownFirst := mergeAdjacency(
+	ownFirst := MergeAdjacency(
 		[][]Edge{{{To: 3, Weight: 0.25}}},
 		[][]Edge{nil, nil, nil, {{To: 0, Weight: 0.75}}},
 		1)
-	reverseFirst := mergeAdjacency(
+	reverseFirst := MergeAdjacency(
 		[][]Edge{{{To: 3, Weight: 0.75}}},
 		[][]Edge{nil, nil, nil, {{To: 0, Weight: 0.25}}},
 		1)
@@ -260,7 +260,7 @@ func TestMergeAdjacencyTieBreaking(t *testing.T) {
 		}
 	}
 	// Multiple duplicates interleaved with distinct neighbors.
-	adj := mergeAdjacency(
+	adj := MergeAdjacency(
 		[][]Edge{{{To: 1, Weight: 0.5}, {To: 2, Weight: 0.9}}},
 		[][]Edge{nil, {{To: 0, Weight: 0.5}}, {{To: 0, Weight: 0.9}}, {{To: 0, Weight: 0.1}}},
 		1)
@@ -332,7 +332,7 @@ func TestBuildShardedMatchesMonolithic(t *testing.T) {
 	want := Build(seq, in)
 	for _, p := range []int{1, 2, 3, 16} {
 		shards := parallel.New(p).Partitions(w.Len())
-		g, scope, err := BuildShardedCtx(context.Background(), seq, in, shards)
+		g, scope, _, err := BuildShardedCtx(context.Background(), seq, in, shards)
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}

@@ -1,0 +1,164 @@
+// The scoreboard: dense, reusable scatter-accumulation state for the β/γ
+// weighting of Algorithm 1.
+//
+// Candidate accumulation is a pure aggregate-per-candidate reduction: for
+// one entity, walk its evidence (shared token blocks for β, neighbor edges
+// for γ) and sum a weight per touched candidate of the other KB. Hashing a
+// map key per contribution dominated that walk; enhanced meta-blocking
+// (Papadakis et al., EDBT 2016) replaces the map with a dense per-worker
+// array indexed by entity ID plus a sparse "touched" list, and this package
+// does the same. The board is sized once per worker (parallel.ForLocalCtx),
+// each entity scatters into it with plain float adds, and the reset walks
+// only the touched IDs — O(touched), not O(|KB|) — so one allocation serves
+// an entire pass. (The matcher's R3 rank aggregation uses a bounded variant
+// of the same pattern, matching.aggBoard: its inputs are rows already
+// pruned to ≤ K, so a ≤ 2K sparse list replaces the dense array there.)
+package graph
+
+import (
+	"cmp"
+	"slices"
+
+	"minoaner/internal/kb"
+)
+
+// Scoreboard is a dense score accumulator over the entity IDs of one KB
+// with a sparse touched set. The zero score doubles as the "untouched"
+// sentinel, which keeps Add branch-cheap without a generation array — every
+// contribution must therefore be strictly positive (true for both users:
+// per-token weights and retained β weights are > 0). Reset is O(touched).
+// A Scoreboard is not safe for concurrent use; hand each worker its own
+// via parallel.ForLocalCtx / MapLocalCtx.
+type Scoreboard struct {
+	score   []float64
+	touched []kb.EntityID
+}
+
+// NewScoreboard returns a board over entity IDs [0, n).
+func NewScoreboard(n int) *Scoreboard {
+	return &Scoreboard{score: make([]float64, n)}
+}
+
+// Add accumulates a strictly positive weight onto a candidate.
+func (b *Scoreboard) Add(to kb.EntityID, w float64) {
+	if b.score[to] == 0 {
+		b.touched = append(b.touched, to)
+	}
+	b.score[to] += w
+}
+
+// Reset clears the board in O(touched), making it ready for the next
+// entity. Forgetting to reset leaks one entity's scores into the next — the
+// scratch-reuse property tests exist to catch exactly that.
+func (b *Scoreboard) Reset() {
+	for _, t := range b.touched {
+		b.score[t] = 0
+	}
+	b.touched = b.touched[:0]
+}
+
+// edgeCmp is the canonical candidate-row order: decreasing weight, ties by
+// increasing entity ID. It is total (no two edges of one row share an ID),
+// which is what makes every selection over it order-independent.
+func edgeCmp(a, b Edge) int {
+	if a.Weight != b.Weight {
+		return cmp.Compare(b.Weight, a.Weight)
+	}
+	return cmp.Compare(a.To, b.To)
+}
+
+// edgeBetter reports whether a ranks strictly ahead of b under edgeCmp.
+func edgeBetter(a, b Edge) bool { return edgeCmp(a, b) < 0 }
+
+// topKBoard selects the k best candidates of a touched board under edgeCmp
+// and returns them as a freshly allocated row, sorted — the same row the
+// map-based topK produces from the same sums, without sorting all touched
+// candidates: a bounded min-heap (root = worst kept) scans the touched list
+// in O(touched · log k), then one k-element sort orders the survivors.
+// heapBuf is the reusable heap scratch (cap ≥ k); the board is left
+// untouched, callers reset it separately.
+func topKBoard(b *Scoreboard, k int, heapBuf []Edge) []Edge {
+	if len(b.touched) == 0 || k <= 0 {
+		return nil
+	}
+	h := heapBuf[:0]
+	for _, to := range b.touched {
+		w := b.score[to]
+		if w <= 0 {
+			// Unreachable with positive contributions; kept as the same
+			// trivial-edge pruning guard the map path applied (§3.3).
+			continue
+		}
+		e := Edge{To: to, Weight: w}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(h, len(h)-1)
+		} else if edgeBetter(e, h[0]) {
+			h[0] = e
+			siftDown(h, 0)
+		}
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(h))
+	copy(out, h)
+	slices.SortFunc(out, edgeCmp)
+	return out
+}
+
+// heapWorse is the heap order: a sorts below b when a ranks BEHIND b under
+// edgeCmp, so the root is always the worst kept candidate.
+func heapWorse(a, b Edge) bool { return edgeBetter(b, a) }
+
+func siftUp(h []Edge, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapWorse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []Edge, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && heapWorse(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && heapWorse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// boardScratch is the per-worker scratch of the β and γ passes: one
+// scoreboard over the other KB's entity IDs plus the reusable top-K heap
+// buffer. With it, the only per-entity allocation left is the emitted row.
+type boardScratch struct {
+	board *Scoreboard
+	heap  []Edge
+}
+
+func newBoardScratch(n, k int) *boardScratch {
+	if k < 0 {
+		k = 0
+	}
+	return &boardScratch{board: NewScoreboard(n), heap: make([]Edge, 0, k)}
+}
+
+// row extracts the top-k candidates of the accumulated board and resets it
+// for the next entity.
+func (sc *boardScratch) row(k int) []Edge {
+	out := topKBoard(sc.board, k, sc.heap)
+	sc.board.Reset()
+	return out
+}

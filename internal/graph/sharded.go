@@ -2,6 +2,7 @@ package graph
 
 import (
 	"context"
+	"time"
 
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
@@ -22,54 +23,64 @@ import (
 // further by sequencing the two γ adjacencies: the E2-side merged adjacency
 // and reverse top-neighbor index are released before the E1-side ones are
 // built, where BuildCtx holds all four simultaneously.
-func BuildShardedCtx(ctx context.Context, e *parallel.Engine, in Input, shards []parallel.Span) (*Graph, *Gamma1Scope, error) {
+//
+// The returned Timings mirror BuildTimedCtx: Beta covers α and both β
+// directions, Gamma the E2-side γ construction plus the scope's shared
+// inputs. The deferred E1 γ rows are timed by the caller as BuildSpan
+// produces them and belong to the γ phase too.
+func BuildShardedCtx(ctx context.Context, e *parallel.Engine, in Input, shards []parallel.Span) (*Graph, *Gamma1Scope, Timings, error) {
 	g := &Graph{
 		Alpha1: make([][]kb.EntityID, in.K1.Len()),
 		Alpha2: make([][]kb.EntityID, in.K2.Len()),
 	}
+	var tm Timings
 	ce := e.Chunked()
 	ix := resolveIndex(in)
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
+	t0 := time.Now()
 	g.buildAlpha(in)
 
 	// β: the E2 direction in one pass (it is needed in full by both γ
 	// directions and by R2/R4), the E1 direction shard by shard so the
 	// transient accumulation state of one shard is released before the next
 	// begins. Rows land in the same positions a full-range pass would fill.
-	beta2, err := buildBeta(ctx, ce, ix, in.K2, false, in.K)
+	beta2, err := buildBeta(ctx, ce, ix, in.K2, in.K1.Len(), false, in.K)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
 	g.Beta2 = beta2
 	g.Beta1 = make([][]Edge, in.K1.Len())
 	for _, s := range shards {
-		rows, err := buildBetaSpan(ctx, ce, ix, in.K1, true, in.K, s)
+		rows, err := buildBetaSpan(ctx, ce, ix, in.K1, in.K2.Len(), true, in.K, s)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, tm, err
 		}
 		copy(g.Beta1[s.Lo:s.Hi], rows)
 	}
+	tm.Beta = time.Since(t0)
 
 	// γ, E2 side: build its adjacency and reverse index, compute, and let
 	// both die before the E1-side adjacency is allocated below.
-	adj2 := mergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
+	t0 = time.Now()
+	adj2 := MergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
 	in1 := stats.TopInNeighbors(in.Top1)
 	gamma2, err := gammaRows(ctx, ce, parallel.Span{Lo: 0, Hi: in.K2.Len()}, in.Top2, adj2, in1, in.K)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tm, err
 	}
 	g.Gamma2 = gamma2
 
 	scope := &Gamma1Scope{
 		eng:  ce,
 		top1: in.Top1,
-		adj1: mergeAdjacency(g.Beta1, g.Beta2, in.K1.Len()),
+		adj1: MergeAdjacency(g.Beta1, g.Beta2, in.K1.Len()),
 		in2:  stats.TopInNeighbors(in.Top2),
 		k:    in.K,
 	}
-	return g, scope, nil
+	tm.Gamma = time.Since(t0)
+	return g, scope, tm, nil
 }
 
 // Gamma1Scope holds the shared inputs of E1-side γ construction — the merged

@@ -242,11 +242,14 @@ func (m *matcher) runR2(ctx context.Context) error {
 // measures only marginal gains from R4: mutual agreement already implies
 // reciprocal edges in almost all cases.
 //
-// Aggregation is parallel per node; commits are sequential in entity order.
+// Aggregation is parallel per node with one reusable bounded scoreboard per
+// worker (the worker-local-scratch discipline of the β/γ passes); commits
+// are sequential in entity order.
 func (m *matcher) runR3(ctx context.Context) error {
-	pick1, err := parallel.MapCtx(ctx, m.eng, m.k1.Len(), func(i int) (pick, error) {
-		return m.pick1At(i, m.g.Gamma1[i]), nil
-	})
+	pick1, err := parallel.MapLocalCtx(ctx, m.eng, m.k1.Len(), newAggBoard,
+		func(sb *aggBoard, i int) (pick, error) {
+			return m.pick1At(sb, i, m.g.Gamma1[i]), nil
+		})
 	if err != nil {
 		return err
 	}
@@ -272,14 +275,57 @@ type pick struct {
 	score float64
 }
 
+// aggBoard is the R3 worker scratch: a bounded sparse scoreboard over one
+// node's fused candidates. Unlike β/γ — where an entity can touch
+// unboundedly many candidates and the graph package uses dense per-worker
+// arrays — R3's inputs are candidate rows already pruned to at most K each,
+// so a linear list of ≤ 2K entries gives the same zero-allocation
+// accumulation at O(K) memory per worker instead of O(|KB|).
+type aggBoard struct {
+	cands []graph.Edge // To = candidate, Weight = fused score so far
+}
+
+func newAggBoard() *aggBoard { return &aggBoard{cands: make([]graph.Edge, 0, 32)} }
+
+// add accumulates a rank contribution onto a candidate (linear probe over
+// the ≤ 2K live entries).
+func (b *aggBoard) add(to kb.EntityID, w float64) {
+	for i := range b.cands {
+		if b.cands[i].To == to {
+			b.cands[i].Weight += w
+			return
+		}
+	}
+	b.cands = append(b.cands, graph.Edge{To: to, Weight: w})
+}
+
+// best returns the candidate with the highest fused score, ties toward the
+// lower entity ID — deterministic in any accumulation order, like the
+// historical map scan. (kb.NoEntity, 0) when empty.
+func (b *aggBoard) best() (kb.EntityID, float64) {
+	if len(b.cands) == 0 {
+		return kb.NoEntity, 0
+	}
+	best := kb.NoEntity
+	bestScore := -1.0
+	for _, c := range b.cands {
+		if c.Weight > bestScore || (c.Weight == bestScore && c.To < best) {
+			best, bestScore = c.To, c.Weight
+		}
+	}
+	return best, bestScore
+}
+
+func (b *aggBoard) reset() { b.cands = b.cands[:0] }
+
 // pick1At computes the R3 pick of E1 node i with an explicitly supplied γ
 // candidate row — Gamma1[i] in the monolithic run, the shard-local row in
-// the sharded run.
-func (m *matcher) pick1At(i int, ngb []graph.Edge) pick {
+// the sharded run — accumulating on the caller's board.
+func (m *matcher) pick1At(sb *aggBoard, i int, ngb []graph.Edge) pick {
 	if m.matched1[i] {
 		return pick{to: kb.NoEntity}
 	}
-	to, score := m.aggregate(m.g.Beta1[i], ngb)
+	to, score := m.aggregate(sb, m.g.Beta1[i], ngb)
 	return pick{to, score}
 }
 
@@ -287,19 +333,47 @@ func (m *matcher) pick1At(i int, ngb []graph.Edge) pick {
 // matched state. Both the monolithic and the sharded matcher take this exact
 // snapshot before any R3 commit.
 func (m *matcher) pick2All(ctx context.Context) ([]pick, error) {
-	return parallel.MapCtx(ctx, m.eng, m.k2.Len(), func(j int) (pick, error) {
-		if m.matched2[j] {
-			return pick{to: kb.NoEntity}, nil
-		}
-		to, score := m.aggregate(m.g.Beta2[j], m.g.Gamma2[j])
-		return pick{to, score}, nil
-	})
+	return parallel.MapLocalCtx(ctx, m.eng, m.k2.Len(), newAggBoard,
+		func(sb *aggBoard, j int) (pick, error) {
+			if m.matched2[j] {
+				return pick{to: kb.NoEntity}, nil
+			}
+			to, score := m.aggregate(sb, m.g.Beta2[j], m.g.Gamma2[j])
+			return pick{to, score}, nil
+		})
 }
 
-// aggregate fuses the two ranked candidate lists of one node and returns the
-// top candidate with its aggregate score (NoEntity if the node has no
-// candidates). Ties break toward the lower entity ID.
-func (m *matcher) aggregate(valCands, ngbCands []graph.Edge) (kb.EntityID, float64) {
+// aggregate fuses the two ranked candidate lists of one node on the given
+// board and returns the top candidate with its aggregate score (NoEntity if
+// the node has no candidates). Ties break toward the lower entity ID; the
+// board is reset before returning. Per-candidate additions follow the same
+// value-then-neighbor order as the historical map accumulation, so the
+// fused float scores are bit-identical.
+func (m *matcher) aggregate(sb *aggBoard, valCands, ngbCands []graph.Edge) (kb.EntityID, float64) {
+	if !m.cfg.UseNeighbors {
+		ngbCands = nil
+	}
+	if len(valCands) == 0 && len(ngbCands) == 0 {
+		return kb.NoEntity, 0
+	}
+	n := len(valCands)
+	for idx, e := range valCands {
+		rank := n - idx // first candidate gets rank n → score n/n
+		sb.add(e.To, m.cfg.Theta*float64(rank)/float64(n))
+	}
+	n = len(ngbCands)
+	for idx, e := range ngbCands {
+		rank := n - idx
+		sb.add(e.To, (1-m.cfg.Theta)*float64(rank)/float64(n))
+	}
+	best, bestScore := sb.best()
+	sb.reset()
+	return best, bestScore
+}
+
+// aggregateMap is the retained map-based reference implementation of
+// aggregate, the pin of the scoreboard property test.
+func (m *matcher) aggregateMap(valCands, ngbCands []graph.Edge) (kb.EntityID, float64) {
 	if !m.cfg.UseNeighbors {
 		ngbCands = nil
 	}
@@ -309,7 +383,7 @@ func (m *matcher) aggregate(valCands, ngbCands []graph.Edge) (kb.EntityID, float
 	agg := make(map[kb.EntityID]float64, len(valCands)+len(ngbCands))
 	n := len(valCands)
 	for idx, e := range valCands {
-		rank := n - idx // first candidate gets rank n → score n/n
+		rank := n - idx
 		agg[e.To] += m.cfg.Theta * float64(rank) / float64(n)
 	}
 	n = len(ngbCands)

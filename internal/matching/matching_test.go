@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -192,10 +193,11 @@ func TestResultPairs(t *testing.T) {
 
 func TestAggregateRanks(t *testing.T) {
 	m := &matcher{cfg: Config{Theta: 0.6, UseNeighbors: true}}
+	sb := newAggBoard()
 	val := []graph.Edge{{To: 10, Weight: 5}, {To: 11, Weight: 3}}
 	ngb := []graph.Edge{{To: 11, Weight: 9}, {To: 10, Weight: 1}}
 	// Scores: 10 → .6·(2/2) + .4·(1/2) = 0.8; 11 → .6·(1/2) + .4·(2/2) = 0.7.
-	to, score := m.aggregate(val, ngb)
+	to, score := m.aggregate(sb, val, ngb)
 	if to != 10 {
 		t.Fatalf("aggregate picked %d (score %v), want 10", to, score)
 	}
@@ -204,18 +206,62 @@ func TestAggregateRanks(t *testing.T) {
 	}
 	// θ < 0.5 promotes neighbor evidence → 11 wins.
 	m.cfg.Theta = 0.3
-	to, _ = m.aggregate(val, ngb)
+	to, _ = m.aggregate(sb, val, ngb)
 	if to != 11 {
 		t.Errorf("θ=0.3 picked %d, want 11", to)
 	}
 	// Empty lists → NoEntity.
-	if to, _ := m.aggregate(nil, nil); to != kb.NoEntity {
+	if to, _ := m.aggregate(sb, nil, nil); to != kb.NoEntity {
 		t.Error("aggregate(nil,nil) must return NoEntity")
 	}
 	// Neighbors disabled → only value list counts.
 	m.cfg.UseNeighbors = false
-	to, _ = m.aggregate(val, ngb)
+	to, _ = m.aggregate(sb, val, ngb)
 	if to != 10 {
 		t.Errorf("no-neighbors aggregate picked %d, want 10", to)
+	}
+}
+
+// The scoreboard aggregate must reproduce the retained map-based reference
+// — same pick, same score — on randomized candidate lists with overlapping
+// value/neighbor candidates and tied ranks, across reuse of one board.
+func TestAggregateScoreboardMatchesMapReference(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m := &matcher{cfg: Config{Theta: 0.6, UseNeighbors: true}}
+	sb := newAggBoard()
+	for trial := 0; trial < 500; trial++ {
+		var val, ngb []graph.Edge
+		seen := map[kb.EntityID]bool{}
+		for c := r.Intn(6); c > 0; c-- {
+			to := kb.EntityID(r.Intn(50))
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			val = append(val, graph.Edge{To: to, Weight: float64(c)})
+		}
+		seen = map[kb.EntityID]bool{}
+		for c := r.Intn(6); c > 0; c-- {
+			to := kb.EntityID(r.Intn(50))
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			ngb = append(ngb, graph.Edge{To: to, Weight: float64(c)})
+		}
+		if trial%3 == 0 {
+			m.cfg.UseNeighbors = false
+		} else {
+			m.cfg.UseNeighbors = true
+		}
+		wantTo, wantScore := m.aggregateMap(val, ngb)
+		gotTo, gotScore := m.aggregate(sb, val, ngb)
+		if gotTo != wantTo || gotScore != wantScore {
+			t.Fatalf("trial %d: aggregate = (%d, %v), reference = (%d, %v)",
+				trial, gotTo, gotScore, wantTo, wantScore)
+		}
+		if len(sb.cands) != 0 {
+			t.Fatalf("trial %d: aggregate left the board dirty (%d touched)", trial, len(sb.cands))
+		}
 	}
 }

@@ -69,9 +69,10 @@ func RunShardedCtx(ctx context.Context, e *parallel.Engine, g *graph.Graph, k1, 
 			return nil, fmt.Errorf("matching: gammaFor returned %d rows for shard [%d,%d)", len(rows), s.Lo, s.Hi)
 		}
 		if cfg.EnableR3 {
-			picks, err := parallel.MapCtx(ctx, m.eng, s.Len(), func(i int) (pick, error) {
-				return m.pick1At(s.Lo+i, rows[i]), nil
-			})
+			picks, err := parallel.MapLocalCtx(ctx, m.eng, s.Len(), newAggBoard,
+				func(sb *aggBoard, i int) (pick, error) {
+					return m.pick1At(sb, s.Lo+i, rows[i]), nil
+				})
 			if err != nil {
 				return nil, err
 			}

@@ -14,6 +14,24 @@ type ScoredPair struct {
 	Score float64
 }
 
+// matchedSet is a dense bitset over EntityIDs — the "already matched"
+// membership state of clean-clean clustering. IDs are dense and start at 0
+// (the kb contract), so a word-packed bitset replaces the historical
+// map[EntityID]bool with one allocation and no hashing per probe.
+type matchedSet []uint64
+
+func newMatchedSet(n kb.EntityID) matchedSet {
+	return make(matchedSet, (int(n)+64)/64)
+}
+
+func (s matchedSet) has(id kb.EntityID) bool {
+	return s[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+func (s matchedSet) set(id kb.EntityID) {
+	s[id>>6] |= 1 << (uint(id) & 63)
+}
+
 // UniqueMappingClustering implements the clustering shared by SiGMa, LINDA,
 // RiMOM-IM and MinoanER's baseline BSL (§5): all scored pairs enter a queue
 // in decreasing similarity; at each step the top pair becomes a match if
@@ -33,18 +51,23 @@ func UniqueMappingClustering(pairs []ScoredPair, threshold float64) []eval.Pair 
 		}
 		return sorted[i].Pair.E2 < sorted[j].Pair.E2
 	})
-	matched1 := make(map[kb.EntityID]bool)
-	matched2 := make(map[kb.EntityID]bool)
+	var max1, max2 kb.EntityID
+	for _, sp := range sorted {
+		max1 = max(max1, sp.Pair.E1)
+		max2 = max(max2, sp.Pair.E2)
+	}
+	matched1 := newMatchedSet(max1)
+	matched2 := newMatchedSet(max2)
 	var out []eval.Pair
 	for _, sp := range sorted {
 		if sp.Score < threshold {
 			break
 		}
-		if matched1[sp.Pair.E1] || matched2[sp.Pair.E2] {
+		if matched1.has(sp.Pair.E1) || matched2.has(sp.Pair.E2) {
 			continue
 		}
-		matched1[sp.Pair.E1] = true
-		matched2[sp.Pair.E2] = true
+		matched1.set(sp.Pair.E1)
+		matched2.set(sp.Pair.E2)
 		out = append(out, sp.Pair)
 	}
 	sort.Slice(out, func(i, j int) bool {

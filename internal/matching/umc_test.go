@@ -100,3 +100,20 @@ func TestUMCProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The bitset matched-sets must size to the maximum IDs present and behave
+// exactly like the historical maps, including on sparse, large IDs.
+func TestUMCSparseLargeIDs(t *testing.T) {
+	pairs := []ScoredPair{
+		{Pair: eval.Pair{E1: 100000, E2: 5}, Score: 0.9},
+		{Pair: eval.Pair{E1: 100000, E2: 70000}, Score: 0.8}, // E1 taken
+		{Pair: eval.Pair{E1: 3, E2: 70000}, Score: 0.7},
+		{Pair: eval.Pair{E1: 3, E2: 5}, Score: 0.6}, // both taken
+		{Pair: eval.Pair{E1: 0, E2: 0}, Score: 0.5},
+	}
+	got := UniqueMappingClustering(pairs, 0.1)
+	want := []eval.Pair{{E1: 0, E2: 0}, {E1: 3, E2: 70000}, {E1: 100000, E2: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UMC = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// Each worker must get exactly one scratch value, built lazily, and reuse
+// it across every span it claims; no scratch may be shared between workers.
+func TestForLocalCtxScratchPerWorker(t *testing.T) {
+	type scratch struct {
+		rows  []int
+		owner int64 // goroutine claim marker, must never be contended
+	}
+	for _, workers := range []int{1, 2, 7} {
+		e := New(workers).Chunked()
+		var built atomic.Int64
+		visited := make([]atomic.Int64, 1000)
+		err := ForLocalCtx(context.Background(), e, len(visited), func() *scratch {
+			built.Add(1)
+			return &scratch{}
+		}, func(sc *scratch, i int) error {
+			if !atomic.CompareAndSwapInt64(&sc.owner, 0, 1) {
+				t.Error("scratch used concurrently by two goroutines")
+			}
+			sc.rows = append(sc.rows, i)
+			visited[i].Add(1)
+			atomic.StoreInt64(&sc.owner, 0)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := built.Load(); got < 1 || got > int64(workers) {
+			t.Errorf("workers=%d built %d scratches, want 1..%d", workers, got, workers)
+		}
+		for i := range visited {
+			if visited[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, visited[i].Load())
+			}
+		}
+	}
+}
+
+// MapLocalCtx must return results in index order identical to MapCtx,
+// regardless of worker count and scheduler.
+func TestMapLocalCtxMatchesMap(t *testing.T) {
+	n := 500
+	want, err := MapCtx(context.Background(), Sequential(), n, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{New(3), New(5).Chunked()} {
+		got, err := MapLocalCtx(context.Background(), e, n, func() []int {
+			return make([]int, 1)
+		}, func(sc []int, i int) (int, error) {
+			sc[0] = i // exercise the scratch without affecting the result
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("got %d results, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("result[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Errors and cancellation must propagate exactly as in ForCtx: first error
+// wins, partial results are discarded by MapLocalCtx.
+func TestLocalCtxErrorAndCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	e := New(4).Chunked()
+	err := ForLocalCtx(context.Background(), e, 100, func() int { return 0 }, func(_ int, i int) error {
+		if i == 17 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ForLocalCtx error = %v, want boom", err)
+	}
+	out, err := MapLocalCtx(context.Background(), e, 100, func() int { return 0 }, func(_ int, i int) (int, error) {
+		if i == 42 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("MapLocalCtx = (%v, %v), want (nil, boom)", out, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForLocalCtx(ctx, e, 100, func() int { return 0 }, func(int, int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ForLocalCtx = %v, want context.Canceled", err)
+	}
+}
+
+// ForSpansIndexedCtx must hand every span exactly once together with its
+// position in the engine's deterministic span list.
+func TestForSpansIndexedCtx(t *testing.T) {
+	for _, e := range []*Engine{Sequential(), New(3), New(4).Chunked()} {
+		n := 123
+		spans := e.spans(n)
+		seen := make([]atomic.Int64, len(spans))
+		err := e.ForSpansIndexedCtx(context.Background(), n, func(pi int, s Span) error {
+			if spans[pi] != s {
+				t.Errorf("span index %d = %v, want %v", pi, s, spans[pi])
+			}
+			seen[pi].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := range seen {
+			if seen[pi].Load() != 1 {
+				t.Fatalf("span %d visited %d times", pi, seen[pi].Load())
+			}
+		}
+	}
+}

@@ -20,6 +20,12 @@
 //     and matching is heavily skewed; dynamic claiming keeps all workers
 //     busy instead of idling behind one oversized static span.
 //
+// Passes that accumulate into dense per-row state use the worker-local
+// scratch variants (ForLocalCtx, MapLocalCtx): each worker lazily builds
+// one reusable scratch value — a scoreboard, a buffer — and amortizes it
+// over every span it claims, turning per-row allocation into per-pass
+// allocation without any locking.
+//
 // Every operation has a context-aware variant (ForCtx, MapSpansCtx,
 // GroupByCtx, ConcurrentCtx, …) with cooperative cancellation and
 // first-error propagation in the style of errgroup: the first failing task
@@ -150,11 +156,13 @@ func (e *Engine) spans(n int) []Span {
 // runSpans is the scheduling core shared by every operation: workers claim
 // spans from an atomic counter (for static partitioning there is one span
 // per worker, so claiming degenerates to the classic assignment; for
-// chunked partitioning it load-balances). fn receives the span's index so
-// callers can store results deterministically. The first error cancels the
-// remaining spans and is returned once all workers have stopped; if the
+// chunked partitioning it load-balances). fn receives the claiming worker's
+// slot in [0, Workers()) — one slot is never active on two goroutines at
+// once, the invariant worker-local scratch relies on — and the span's index
+// so callers can store results deterministically. The first error cancels
+// the remaining spans and is returned once all workers have stopped; if the
 // parent context is cancelled mid-run, its error is returned instead.
-func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s Span) error) error {
+func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(worker, pi int, s Span) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -166,7 +174,7 @@ func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s S
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(pi, s); err != nil {
+			if err := fn(0, pi, s); err != nil {
 				return err
 			}
 		}
@@ -192,7 +200,7 @@ func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s S
 	}
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if cctx.Err() != nil {
@@ -202,12 +210,12 @@ func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s S
 				if pi >= len(spans) {
 					return
 				}
-				if err := fn(pi, spans[pi]); err != nil {
+				if err := fn(w, pi, spans[pi]); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	// If no task failed but the parent context was cancelled, report that.
@@ -218,7 +226,16 @@ func (e *Engine) runSpans(ctx context.Context, spans []Span, fn func(pi int, s S
 // ForSpansCtx runs fn once per span of [0, n) concurrently under the
 // engine's scheduler, propagating cancellation and the first error.
 func (e *Engine) ForSpansCtx(ctx context.Context, n int, fn func(s Span) error) error {
-	return e.runSpans(ctx, e.spans(n), func(_ int, s Span) error { return fn(s) })
+	return e.runSpans(ctx, e.spans(n), func(_, _ int, s Span) error { return fn(s) })
+}
+
+// ForSpansIndexedCtx is ForSpansCtx with the span's position in the
+// engine's deterministic span list (Partitions for the static scheduler,
+// Chunks for the dynamic one) passed alongside, so a pass can correlate
+// per-span state — local counters, write cursors — produced by an earlier
+// pass over the same engine and length.
+func (e *Engine) ForSpansIndexedCtx(ctx context.Context, n int, fn func(pi int, s Span) error) error {
+	return e.runSpans(ctx, e.spans(n), func(_, pi int, s Span) error { return fn(pi, s) })
 }
 
 // ForCtx runs fn(i) for every i in [0, n) with cancellation and first-error
@@ -316,7 +333,7 @@ func (e *Engine) Concurrent(stages ...func()) {
 func MapSpansCtx[T any](ctx context.Context, e *Engine, n int, fn func(s Span) (T, error)) ([]T, error) {
 	spans := e.spans(n)
 	out := make([]T, len(spans))
-	err := e.runSpans(ctx, spans, func(pi int, s Span) error {
+	err := e.runSpans(ctx, spans, func(_, pi int, s Span) error {
 		v, err := fn(s)
 		if err != nil {
 			return err
@@ -338,6 +355,62 @@ func MapSpans[T any](e *Engine, n int, fn func(s Span) T) []T {
 		return fn(s), nil
 	})
 	return out
+}
+
+// ForLocalCtx runs fn(scratch, i) for every i in [0, n) under the engine's
+// scheduler, handing each worker its own scratch value built lazily by
+// newScratch on the worker's first span and REUSED across every span that
+// worker claims. This is the substrate for scatter-accumulation passes that
+// would otherwise allocate per row: a worker's dense scoreboard, bitset or
+// buffer is paid for once per pass instead of once per entity, and because
+// a scratch value is only ever visible to the one goroutine owning its
+// worker slot, no locking is needed. fn must leave the scratch in a reset
+// state before returning (a dirty scratch leaks into the worker's next row
+// — the property tests in the graph package pin this down).
+//
+// Rows are still processed in deterministic per-index isolation: which
+// worker (and thus which scratch) handles a row affects no observable
+// output as long as fn resets its scratch, so all determinism guarantees of
+// For/Map carry over.
+func ForLocalCtx[S any](ctx context.Context, e *Engine, n int, newScratch func() S, fn func(scratch S, i int) error) error {
+	var (
+		scratch = make([]S, e.workers)
+		ready   = make([]bool, e.workers)
+	)
+	return e.runSpans(ctx, e.spans(n), func(w, _ int, s Span) error {
+		// Slot w is owned by exactly one goroutine for the whole run, so the
+		// lazy build and reuse need no synchronization.
+		if !ready[w] {
+			scratch[w] = newScratch()
+			ready[w] = true
+		}
+		sc := scratch[w]
+		for i := s.Lo; i < s.Hi; i++ {
+			if err := fn(sc, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// MapLocalCtx is MapCtx with a per-worker reusable scratch value (see
+// ForLocalCtx): results are returned in index order, partial results are
+// discarded on error or cancellation.
+func MapLocalCtx[S, T any](ctx context.Context, e *Engine, n int, newScratch func() S, fn func(scratch S, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForLocalCtx(ctx, e, n, newScratch, func(sc S, i int) error {
+		v, err := fn(sc, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MapCtx applies fn to every index of [0, n) concurrently and returns
