@@ -17,7 +17,7 @@ CHECK_SCALE  ?= 0.25
 CHECK_SHARDS ?= 1,8
 TOLERANCE    ?= 3.0
 
-.PHONY: build test race fmt vet lint cover bench bench-test smoke bench-check bench-baseline profile
+.PHONY: build test race fmt vet lint cover bench bench-test smoke smoke-examples bench-check bench-baseline profile
 
 build:
 	go build ./...
@@ -54,10 +54,22 @@ bench:
 bench-test:
 	go test -bench . -run '^$$' -benchmem .
 
-# smoke is the fast CI variant: one small preset, one repetition.
+# smoke is the fast CI variant: one small preset, one repetition, plus a
+# CLI round trip through the per-entity query path (-query, both output
+# formats) on a generated dataset.
 smoke:
 	go test -run '^$$' -bench '^BenchmarkPipelineRestaurant$$' -benchtime 1x .
 	go run ./cmd/experiments -bench -datasets Restaurant -reps 1 -benchout /tmp/bench-smoke.json
+	go run ./cmd/datagen -preset Restaurant -scale 0.2 -out /tmp/minoaner-query-smoke
+	go run ./cmd/minoaner -e1 /tmp/minoaner-query-smoke/e1.nt -e2 /tmp/minoaner-query-smoke/e2.nt \
+		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)"
+	go run ./cmd/minoaner -e1 /tmp/minoaner-query-smoke/e1.nt -e2 /tmp/minoaner-query-smoke/e2.nt \
+		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)" -json -quiet
+
+# smoke-examples builds and runs every example program end to end (they are
+# self-contained and exit non-zero on broken invariants).
+smoke-examples:
+	@set -e; for d in examples/*/; do echo "== $$d"; go run ./$$d >/dev/null; done
 
 # bench-check is the CI benchmark-regression gate: re-measure at the
 # baseline's scale and fail on a >$(TOLERANCE)× per-stage regression (or an

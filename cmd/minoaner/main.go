@@ -5,7 +5,7 @@
 //
 //	minoaner -e1 kb1.nt -e2 kb2.nt [-format nt|tsv] [-gt truth.tsv]
 //	         [-k 2] [-K 15] [-N 3] [-theta 0.6] [-workers 0] [-rules]
-//	         [-timeout 30s] [-shards 0] [-stream]
+//	         [-timeout 30s] [-shards 0] [-stream] [-query URI] [-json]
 //
 // With -gt (a TSV of uri1<TAB>uri2 true matches) it also reports precision,
 // recall and F1. With -rules each output line is annotated with the
@@ -15,16 +15,25 @@
 // memory (output is identical for every P). With -stream the KBs are loaded
 // through the streaming ingestion path, which interns tokens incrementally
 // instead of queueing the whole file.
+//
+// With -query URI the batch run is replaced by a single per-entity query
+// against the build-once substrate: a URI present in E1 is replayed through
+// the query path; any other URI describes a new entity whose statements are
+// read from stdin as predicate<TAB>object lines (objects that are not E1
+// URIs are treated as literal values). Candidates print as
+// uri<TAB>score<TAB>rule, or as a JSON array with -json.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"minoaner"
 )
@@ -45,6 +54,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort resolution after this duration (0 = no limit)")
 		shards  = flag.Int("shards", 0, "split E1 into this many shards for memory-bounded execution (0 = monolithic)")
 		stream  = flag.Bool("stream", false, "load KBs through the streaming ingestion path")
+		query   = flag.String("query", "", "resolve one entity (an E1 URI, or a new URI with statements on stdin) instead of the batch pipeline")
+		jsonOut = flag.Bool("json", false, "with -query, emit candidates as a JSON array")
 	)
 	flag.Parse()
 	if *e1Path == "" || *e2Path == "" {
@@ -71,6 +82,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *query != "" {
+		runQuery(ctx, k1, k2, cfg, *query, *jsonOut, *quiet)
+		return
+	}
+
 	out, err := minoaner.ResolveContext(ctx, k1, k2, cfg)
 	if errors.Is(err, context.DeadlineExceeded) {
 		exitOn(fmt.Errorf("resolution exceeded -timeout %v", *timeout))
@@ -100,6 +116,67 @@ func main() {
 		}
 		m := minoaner.Evaluate(pairs, gt)
 		fmt.Fprintf(os.Stderr, "minoaner: %s (skipped %d unknown ground-truth URIs)\n", m, skipped)
+	}
+}
+
+// runQuery builds the substrate once and resolves a single entity against
+// it through the per-entity query path.
+func runQuery(ctx context.Context, k1, k2 *minoaner.KB, cfg minoaner.Config, uri string, jsonOut, quiet bool) {
+	sub, err := minoaner.BuildSubstrate(ctx, k1, k2, cfg)
+	exitOn(err)
+	var q minoaner.EntityQuery
+	if e := k1.Lookup(uri); e >= 0 {
+		q = minoaner.QueryFromEntity(k1, e)
+	} else {
+		q = minoaner.EntityQuery{URI: uri}
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			if len(parts) != 2 {
+				continue
+			}
+			q.Objects = append(q.Objects, minoaner.QueryObject{Predicate: parts[0], Object: parts[1]})
+		}
+		exitOn(sc.Err())
+	}
+	start := time.Now()
+	ms, err := minoaner.QueryEntity(ctx, sub, q, cfg)
+	exitOn(err)
+	elapsed := time.Since(start)
+
+	w := bufio.NewWriter(os.Stdout)
+	if jsonOut {
+		type candidate struct {
+			URI         string  `json:"uri"`
+			Rule        string  `json:"rule"`
+			Score       float64 `json:"score"`
+			ValueSim    float64 `json:"value_sim,omitempty"`
+			NeighborSim float64 `json:"neighbor_sim,omitempty"`
+			Reciprocal  bool    `json:"reciprocal"`
+		}
+		cands := make([]candidate, 0, len(ms))
+		for _, m := range ms {
+			cands = append(cands, candidate{
+				URI: m.URI, Rule: m.Rule.String(), Score: m.Score,
+				ValueSim: m.ValueSim, NeighborSim: m.NeighborSim, Reciprocal: m.Reciprocal,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(cands))
+	} else {
+		for _, m := range ms {
+			fmt.Fprintf(w, "%s\t%.4f\t%s\n", m.URI, m.Score, m.Rule)
+		}
+	}
+	exitOn(w.Flush())
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "minoaner: query %s: %d candidates in %v (substrate built in %v)\n",
+			uri, len(ms), elapsed, sub.BuildDuration().Round(time.Millisecond))
 	}
 }
 

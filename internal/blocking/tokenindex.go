@@ -322,11 +322,22 @@ func (ix *TokenIndex) key(s int32) string {
 // with the precomputed token weight and the members of the OTHER KB. fromE1
 // states which side d belongs to.
 func (ix *TokenIndex) ForEachShared(d *kb.Description, fromE1 bool, f func(w float64, others []kb.EntityID)) {
+	ix.ForEachSharedTokens(d.TokenIDs(), fromE1, f)
+}
+
+// ForEachSharedTokens is ForEachShared over an explicit KB-local token-ID
+// list — the probe the per-entity query path uses for descriptions that are
+// not members of either KB: the caller resolves the query's token strings
+// through the side's own dictionary (kb.Interner.Lookup, read-only) and
+// passes the IDs in token-string order, reproducing exactly the walk a built
+// description would take. Tokens must belong to the side named by fromE1.
+// The receiver is never mutated, so concurrent walks are safe.
+func (ix *TokenIndex) ForEachSharedTokens(tids []kb.TokenID, fromE1 bool, f func(w float64, others []kb.EntityID)) {
 	t, others := ix.t1, ix.e2
 	if !fromE1 {
 		t, others = ix.t2, ix.e1
 	}
-	for _, tid := range d.TokenIDs() {
+	for _, tid := range tids {
 		s := slotOf(t, tid)
 		if s < 0 {
 			continue

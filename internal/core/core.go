@@ -20,7 +20,6 @@ import (
 	"minoaner/internal/kb"
 	"minoaner/internal/matching"
 	"minoaner/internal/parallel"
-	"minoaner/internal/stats"
 )
 
 // Config holds the MinoanER parameters. The defaults reproduce the paper's
@@ -55,6 +54,12 @@ type Config struct {
 	// structure (the shard's γ candidate rows); when ShardCount is 0 the
 	// shard count is derived from it. 0 means no byte-based cap.
 	MaxShardBytes int64
+	// OmitTokenBlocks skips materializing the historical token-block
+	// collection in Output.TokenBlocks (nil instead). The collection exists
+	// only for Table-2 statistics — graph construction walks the columnar
+	// TokenIndex directly — so omitting it changes no match, provenance or
+	// edge count; long-lived substrates serving queries avoid pinning it.
+	OmitTokenBlocks bool
 	// Rules toggles individual matching rules and neighbor evidence; the
 	// zero value means "all rules enabled" (see normalize).
 	Rules *matching.Config
@@ -175,132 +180,90 @@ func Resolve(k1, k2 *kb.KB, cfg Config) (*Output, error) {
 }
 
 // ResolveContext runs the full MinoanER pipeline on two clean KBs under the
-// given context. Cancellation is cooperative: every data-parallel pass
-// observes ctx between chunks, so the pipeline aborts promptly (returning
-// ctx.Err()) when the context is cancelled or its deadline expires — the
-// early-termination primitive that progressive/any-time ER and request
-// timeouts in a serving deployment both need.
+// given context: it builds the substrate (stages 1–2) and resolves with it
+// (stages 3–4) in one composition — byte-identical to the historical
+// monolithic pipeline, as the pinned-digest tests prove. Cancellation is
+// cooperative: every data-parallel pass observes ctx between chunks, so the
+// pipeline aborts promptly (returning ctx.Err()) when the context is
+// cancelled or its deadline expires — the early-termination primitive that
+// progressive/any-time ER and request timeouts in a serving deployment both
+// need.
 //
 // When cfg requests sharded execution (ShardCount > 1, or a MaxShardBytes
-// budget that implies more than one shard), the run is delegated to the
+// budget that implies more than one shard), resolution runs over the
 // partitioned engine — see ResolveSharded; output is identical either way.
 func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
-	if p := cfg.effectiveShards(k1.Len()); p > 1 {
-		return resolveSharded(ctx, k1, k2, cfg, p)
+	eng := parallel.New(cfg.Workers)
+	p := cfg.effectiveShards(k1.Len())
+	sub, err := buildSubstrate(ctx, eng, k1, k2, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return resolveWith(ctx, eng, sub, cfg, p)
+}
+
+// ResolveWith runs resolution (graph construction + matching, stages 3–4)
+// over a prebuilt substrate. Only the matching-side parameters of cfg apply
+// — TopK, Theta, Rules, Workers and the sharding fields; the substrate's
+// baked-in build parameters (NameK, RelN, MaxBlockFraction) are used as
+// frozen. Calling BuildSubstrate then ResolveWith with one Config is
+// byte-identical to Resolve with that Config; the substrate is not mutated,
+// so several ResolveWith calls (e.g. rule ablations over one substrate) may
+// run concurrently.
+func ResolveWith(ctx context.Context, sub *Substrate, cfg Config) (*Output, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
 	}
 	eng := parallel.New(cfg.Workers)
-	out := &Output{}
+	return resolveWith(ctx, eng, sub, cfg, cfg.effectiveShards(sub.k1.Len()))
+}
+
+// resolveWith is the internal resolution over a normalized Config and
+// resolved shard count. Output.Timings carries the substrate's stage-1/2
+// wall clock plus this call's own stages; Total adds the substrate build to
+// the resolution elapsed, keeping the historical whole-pipeline meaning.
+func resolveWith(ctx context.Context, eng *parallel.Engine, sub *Substrate, cfg Config, p int) (*Output, error) {
 	start := time.Now()
+	out := &Output{
+		NameBlocks:     sub.nameBlocks,
+		PurgedBlocks:   sub.purgedBlocks,
+		PurgeThreshold: sub.purgeThreshold,
+		NameAttrs1:     sub.nameAttrs1,
+		NameAttrs2:     sub.nameAttrs2,
+		Timings:        sub.timings,
+	}
+	in := graph.Input{
+		K1: sub.k1, K2: sub.k2,
+		NameBlocks: sub.nameBlocks,
+		TokenIndex: sub.tokenIx,
+		Top1:       sub.top1,
+		Top2:       sub.top2,
+		K:          cfg.TopK,
+	}
+	if !cfg.OmitTokenBlocks {
+		out.TokenBlocks = sub.TokenBlocks()
+		in.TokenBlocks = out.TokenBlocks
+	}
+	mc := *cfg.Rules
+	mc.Theta = cfg.Theta
 
-	// Stage 1 — statistics: name attributes, relation importance and top
-	// neighbors for both KBs. The two KBs of each sub-stage run concurrently
-	// (Figure 4's left column); sub-stages are separated by barriers so each
-	// one's wall clock is measured cleanly for the regression gate. Relation
-	// ranks come out as dense PredID-indexed arrays, the columnar globalOrder.
-	t0 := time.Now()
-	var (
-		ranks1, ranks2 []int32
-		top1, top2     [][]kb.EntityID
-	)
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			var err error
-			out.NameAttrs1, err = stats.NameAttributesCtx(sc, eng, k1, cfg.NameK)
-			return err
-		},
-		func(sc context.Context) error {
-			var err error
-			out.NameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
+	if p > 1 {
+		if err := resolveShardedStages(ctx, eng, sub, in, mc, p, out); err != nil {
+			return nil, err
+		}
+		out.Timings.Total = sub.buildWall + time.Since(start)
+		return out, nil
 	}
-	out.Timings.StatsAttributes = time.Since(t0)
-	t1 := time.Now()
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
-			ranks1 = stats.RelationRanks(k1, ri)
-			return err
-		},
-		func(sc context.Context) error {
-			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
-			ranks2 = stats.RelationRanks(k2, ri)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	out.Timings.StatsRelations = time.Since(t1)
-	t1 = time.Now()
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			var err error
-			top1, err = stats.TopNeighborsRanksCtx(sc, eng, k1, ranks1, cfg.RelN)
-			return err
-		},
-		func(sc context.Context) error {
-			var err error
-			top2, err = stats.TopNeighborsRanksCtx(sc, eng, k2, ranks2, cfg.RelN)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	out.Timings.StatsTopNeighbors = time.Since(t1)
-	out.Timings.Statistics = time.Since(t0)
-
-	// Stage 2 — composite blocking: name blocking ∥ columnar token indexing
-	// (the shared-interner token space flows from the KB builders through
-	// the index into graph construction), then Block Purging of stop-word
-	// token blocks applied to the index.
-	t0 = time.Now()
-	var nameBlocks *blocking.Collection
-	var tokenIx *blocking.TokenIndex
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			var err error
-			nameBlocks, err = blocking.NameBlocksCtx(sc, eng, k1, k2, out.NameAttrs1, out.NameAttrs2)
-			return err
-		},
-		func(sc context.Context) error {
-			var err error
-			tokenIx, err = blocking.NewTokenIndexCtx(sc, eng, k1, k2)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	// One formula for the purging threshold, shared with blocking.AutoPurge.
-	if budget := blocking.ComparisonBudget(k1.Len(), k2.Len(), cfg.MaxBlockFraction); budget > 0 {
-		out.PurgeThreshold = budget
-		tokenIx, out.PurgedBlocks = tokenIx.PurgeAbove(budget)
-	}
-	tokenBlocks := tokenIx.Collection()
-	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
-	out.Timings.Blocking = time.Since(t0)
 
 	// Stage 3 — disjunctive blocking graph (Algorithm 1), with the β and γ
 	// weighting phases timed separately for the regression gate.
-	t0 = time.Now()
-	g, gt, err := graph.BuildTimedCtx(ctx, eng, graph.Input{
-		K1: k1, K2: k2,
-		NameBlocks:  nameBlocks,
-		TokenBlocks: tokenBlocks,
-		TokenIndex:  tokenIx,
-		Top1:        top1,
-		Top2:        top2,
-		K:           cfg.TopK,
-	})
+	t0 := time.Now()
+	g, gt, err := graph.BuildTimedCtx(ctx, eng, in)
 	if err != nil {
 		return nil, err
 	}
@@ -311,9 +274,7 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 
 	// Stage 4 — non-iterative matching (Algorithm 2).
 	t0 = time.Now()
-	mc := *cfg.Rules
-	mc.Theta = cfg.Theta
-	res, err := matching.RunCtx(ctx, eng, g, k1, k2, mc)
+	res, err := matching.RunCtx(ctx, eng, g, sub.k1, sub.k2, mc)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +282,6 @@ func ResolveContext(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Output, er
 	out.RemovedByR4 = res.RemovedByR4
 	out.Timings.Matching = time.Since(t0)
 
-	out.Timings.Total = time.Since(start)
+	out.Timings.Total = sub.buildWall + time.Since(start)
 	return out, nil
 }

@@ -1,0 +1,369 @@
+// The per-entity query path: resolve ONE new (or re-described) entity
+// against a frozen substrate without a batch run. QueryEntity tokenizes the
+// description against the shared interner and schema, probes the purged
+// TokenIndex and the name-usage index, runs the β/γ/rank-aggregation kernel
+// for just that entity and returns ranked candidates with rule provenance —
+// the progressive-resolution primitive of Simonini et al. applied to
+// MinoanER's non-iterative rules. Queries reuse the batch scoreboards
+// through a per-query scratch pool, so concurrent queries on one substrate
+// are race-free and allocation-light.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+	"minoaner/internal/matching"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// EntityQuery is one entity description to resolve against a substrate's K2.
+// It mirrors what a kb.Builder would have ingested for an E1 entity:
+// literal attribute values plus relation statements whose objects are K1
+// entity URIs. Objects that do not resolve to a K1 entity are demoted to
+// literal attributes, exactly as kb.Builder demotes unresolved URI objects
+// at build time.
+type EntityQuery struct {
+	// URI labels the query entity (informational; it is never looked up).
+	URI string
+	// Attrs are the literal attribute statements.
+	Attrs []kb.AttributeValue
+	// Objects are the relation statements (predicate → object URI).
+	Objects []QueryObject
+	// SelfURI, when non-empty, names the K1 entity this query re-describes:
+	// the unique-name rule then reproduces the batch α semantics for that
+	// entity (its own name usage does not block a 1×1 name match) and the
+	// reciprocity flag is evaluated against its back-edges. Leave empty for
+	// a genuinely new entity.
+	SelfURI string
+}
+
+// QueryObject is one relation statement of an EntityQuery.
+type QueryObject struct {
+	Predicate string
+	Object    string
+}
+
+// QueryMatch is one ranked candidate for a queried entity.
+type QueryMatch struct {
+	// Candidate is the K2 entity; URI its identifier.
+	Candidate kb.EntityID
+	URI       string
+	// Rule records which matching rule claims the candidate: R1 for a
+	// unique-name match, R2 for a top value candidate with valueSim ≥ 1, R3
+	// for the top rank-aggregation candidate, RuleNone for the remaining
+	// ranked candidates (graph evidence without a rule claim).
+	Rule matching.Rule
+	// Score is the fused rank-aggregation score (θ·value + (1−θ)·neighbor
+	// rank contributions); ValueSim and NeighborSim the retained β and γ
+	// weights feeding it (0 when the candidate fell outside that row).
+	Score       float64
+	ValueSim    float64
+	NeighborSim float64
+	// Reciprocal reports R4's back-edge test: whether the candidate's own
+	// pruned candidate rows point back at the re-described entity. Always
+	// false for a query without SelfURI — a new entity cannot appear in the
+	// frozen graph, so R4 is advisory there.
+	Reciprocal bool
+}
+
+// QueryFromEntity builds the EntityQuery that re-describes an existing K1
+// entity — statement for statement, with SelfURI set — so callers and tests
+// can replay KB members through the query path.
+func QueryFromEntity(k *kb.KB, id kb.EntityID) EntityQuery {
+	d := k.Entity(id)
+	q := EntityQuery{URI: d.URI, SelfURI: d.URI, Attrs: slices.Clone(d.Attrs)}
+	for _, r := range d.Relations {
+		q.Objects = append(q.Objects, QueryObject{Predicate: r.Predicate, Object: k.Entity(r.Object).URI})
+	}
+	return q
+}
+
+// nameUsers is one normalized name's usage across the KB pair: how many
+// entities of each side carry it, and the sole carrier when that count is 1
+// (the only case α consults).
+type nameUsers struct {
+	n1, n2 int32
+	e1, e2 kb.EntityID
+}
+
+// queryState is the lazily built read-only state shared by every query on
+// one substrate: the frozen disjunctive blocking graph of the pair (Gamma1
+// left to the scope — per-query γ rows are computed on demand, never
+// materialized for all of E1), the name-usage index behind the α rule, and
+// the scratch pool.
+type queryState struct {
+	g     *graph.Graph
+	scope *graph.Gamma1Scope
+	names map[string]nameUsers
+	pool  sync.Pool // *querySlot
+}
+
+// querySlot is the scratch one in-flight query owns.
+type querySlot struct {
+	qs  *graph.QueryScratch
+	agg *matching.AggScratch
+}
+
+// queryState returns the substrate's query state, building it on first use.
+// The build is serialized by queryMu but retryable (unlike sync.Once): a
+// cancelled context fails the build without poisoning the substrate.
+func (s *Substrate) queryState(ctx context.Context) (*queryState, error) {
+	if st := s.query.Load(); st != nil {
+		return st, nil
+	}
+	s.queryMu.Lock()
+	defer s.queryMu.Unlock()
+	if st := s.query.Load(); st != nil {
+		return st, nil
+	}
+	eng := parallel.New(s.cfg.Workers)
+	g, scope, _, err := graph.BuildShardedCtx(ctx, eng, graph.Input{
+		K1: s.k1, K2: s.k2,
+		NameBlocks: s.nameBlocks,
+		TokenIndex: s.tokenIx,
+		Top1:       s.top1,
+		Top2:       s.top2,
+		K:          s.cfg.TopK,
+	}, []parallel.Span{{Lo: 0, Hi: s.k1.Len()}})
+	if err != nil {
+		return nil, err
+	}
+	st := &queryState{g: g, scope: scope, names: buildNameIndex(s)}
+	n2, k := s.k2.Len(), s.cfg.TopK
+	st.pool.New = func() any {
+		return &querySlot{qs: graph.NewQueryScratch(n2, k), agg: matching.NewAggScratch()}
+	}
+	s.query.Store(st)
+	return st, nil
+}
+
+// PrewarmQueries forces the lazy query state to exist, so the first
+// QueryEntity call does not pay the one-time graph construction. Idempotent
+// and safe to call concurrently.
+func (s *Substrate) PrewarmQueries(ctx context.Context) error {
+	_, err := s.queryState(ctx)
+	return err
+}
+
+// buildNameIndex tallies every normalized name of both KBs. Per-entity names
+// are already deduplicated by NameLookup.Names, so each entity counts once
+// per name — the same multiplicity the name blocks see.
+func buildNameIndex(s *Substrate) map[string]nameUsers {
+	idx := make(map[string]nameUsers)
+	for i := 0; i < s.k1.Len(); i++ {
+		for _, n := range s.names1.Names(kb.EntityID(i)) {
+			u := idx[n]
+			u.n1++
+			u.e1 = kb.EntityID(i)
+			idx[n] = u
+		}
+	}
+	for j := 0; j < s.k2.Len(); j++ {
+		for _, n := range s.names2.Names(kb.EntityID(j)) {
+			u := idx[n]
+			u.n2++
+			u.e2 = kb.EntityID(j)
+			idx[n] = u
+		}
+	}
+	return idx
+}
+
+// QueryEntity resolves one entity description against the substrate's K2
+// and returns ranked candidates, best first: unique-name (α) candidates
+// lead in entity order — the batch matcher commits R1 before everything —
+// followed by the fused rank-aggregation order (decreasing score, ties
+// toward the lower entity ID). Of cfg only the matching-side parameters
+// apply (Theta, Rules); candidate rows are pruned to the substrate's TopK,
+// and the substrate's frozen name attributes, relation ranks and purged
+// index drive the probes. For a query that re-describes a K1 entity
+// (SelfURI), the emitted rows and rule claims equal the batch pipeline's
+// per-entity view of that entity — the equivalence the property tests pin.
+//
+// Concurrent QueryEntity calls on one substrate are race-free: the shared
+// state is read-only and each call takes its own scratch from the pool.
+func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config) ([]QueryMatch, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	st, err := sub.queryState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	self := kb.NoEntity
+	if q.SelfURI != "" {
+		if self = sub.k1.Lookup(q.SelfURI); self == kb.NoEntity {
+			return nil, fmt.Errorf("core: query SelfURI %q is not a K1 entity", q.SelfURI)
+		}
+	}
+	mc := *cfg.Rules
+	mc.Theta = cfg.Theta
+
+	// Statement normalization, mirroring kb.Builder: objects resolving to a
+	// K1 entity are relations, everything else a literal attribute.
+	attrs := q.Attrs
+	type relStmt struct {
+		group int32 // PredID, or a synthetic key past the schema for unknown predicates
+		rank  int32
+		obj   kb.EntityID
+	}
+	var rels []relStmt
+	var extraAttrs []kb.AttributeValue
+	var unknownPreds map[string]int32
+	sch := sub.k1.Schema()
+	for _, o := range q.Objects {
+		obj := sub.k1.Lookup(o.Object)
+		if obj == kb.NoEntity {
+			extraAttrs = append(extraAttrs, kb.AttributeValue{Attribute: o.Predicate, Value: o.Object})
+			continue
+		}
+		stmt := relStmt{obj: obj}
+		if pid, ok := sch.LookupPred(o.Predicate); ok {
+			stmt.group = int32(pid)
+			stmt.rank = sub.ranks1[pid]
+		} else {
+			// A predicate K1 never saw has no global importance; it sorts
+			// after every known predicate and ranks below all of them.
+			if unknownPreds == nil {
+				unknownPreds = make(map[string]int32)
+			}
+			key, ok := unknownPreds[o.Predicate]
+			if !ok {
+				key = int32(sch.Preds()) + int32(len(unknownPreds))
+				unknownPreds[o.Predicate] = key
+			}
+			stmt.group = key
+			stmt.rank = math.MaxInt32
+		}
+		rels = append(rels, stmt)
+	}
+	if len(extraAttrs) > 0 {
+		attrs = append(slices.Clone(attrs), extraAttrs...)
+	}
+
+	// β probe: the description's sorted distinct tokens, resolved against
+	// the shared dictionary WITHOUT interning (queries never mutate the
+	// substrate); unknown tokens index no block and are dropped, which is
+	// exactly how the batch walk treats them.
+	tok := kb.NewTokenizer()
+	vals := make([]string, 0, len(attrs))
+	for _, av := range attrs {
+		vals = append(vals, av.Value)
+	}
+	dict := sub.k1.TokenDict()
+	var tids []kb.TokenID
+	for _, t := range tok.TokenSetOf(vals...) {
+		if id, ok := dict.Lookup(t); ok {
+			tids = append(tids, id)
+		}
+	}
+
+	slot := st.pool.Get().(*querySlot)
+	defer st.pool.Put(slot)
+	beta := graph.BetaRowForTokens(sub.tokenIx, tids, true, slot.qs, sub.cfg.TopK)
+
+	// γ probe: the query's top-neighbor list over the frozen relation ranks,
+	// propagated through the frozen β adjacency.
+	var gamma []graph.Edge
+	if len(rels) > 0 {
+		slices.SortFunc(rels, func(a, b relStmt) int {
+			if a.group != b.group {
+				if a.group < b.group {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		groups := make([]int32, len(rels))
+		ranks := make([]int32, len(rels))
+		objs := make([]kb.EntityID, len(rels))
+		for i, r := range rels {
+			groups[i], ranks[i], objs[i] = r.group, r.rank, r.obj
+		}
+		top := stats.TopNeighborsOf(groups, ranks, objs, sub.cfg.RelN)
+		gamma = st.scope.RowFor(top, slot.qs)
+	}
+
+	// α probe: a normalized name shared with exactly one K2 entity and used
+	// by no K1 entity other than the queried one itself.
+	var alpha []kb.EntityID
+	if mc.EnableR1 {
+		d := kb.Description{Attrs: attrs}
+		for _, n := range stats.NamesOf(&d, sub.nameAttrs1) {
+			u, ok := st.names[n]
+			if !ok || u.n2 != 1 {
+				continue
+			}
+			if self != kb.NoEntity {
+				if u.n1 == 1 && u.e1 == self {
+					alpha = append(alpha, u.e2)
+				}
+			} else if u.n1 == 0 {
+				alpha = append(alpha, u.e2)
+			}
+		}
+		slices.Sort(alpha)
+		alpha = slices.Compact(alpha)
+	}
+
+	// Fused ranking (R3's scoring); element 0 is the batch aggregate pick.
+	ranking := matching.RankAggregateRow(slot.agg, beta, gamma, mc.Theta, mc.UseNeighbors)
+
+	r2cand := kb.NoEntity
+	if mc.EnableR2 && len(beta) > 0 && beta[0].Weight >= 1 {
+		r2cand = beta[0].To
+	}
+	weightIn := func(row []graph.Edge, to kb.EntityID) float64 {
+		for _, e := range row {
+			if e.To == to {
+				return e.Weight
+			}
+		}
+		return 0
+	}
+	emit := func(c kb.EntityID, rule matching.Rule, score float64) QueryMatch {
+		m := QueryMatch{
+			Candidate:   c,
+			URI:         sub.k2.Entity(c).URI,
+			Rule:        rule,
+			Score:       score,
+			ValueSim:    weightIn(beta, c),
+			NeighborSim: weightIn(gamma, c),
+		}
+		if self != kb.NoEntity {
+			m.Reciprocal = st.g.HasDirectedEdge2(c, self)
+		}
+		return m
+	}
+
+	out := make([]QueryMatch, 0, len(alpha)+len(ranking))
+	for _, c := range alpha {
+		out = append(out, emit(c, matching.RuleName, weightIn(ranking, c)))
+	}
+	for i, e := range ranking {
+		if slices.Contains(alpha, e.To) {
+			continue
+		}
+		rule := matching.RuleNone
+		switch {
+		case e.To == r2cand:
+			rule = matching.RuleValue
+		case i == 0 && mc.EnableR3:
+			rule = matching.RuleRank
+		}
+		out = append(out, emit(e.To, rule, e.Weight))
+	}
+	return out, nil
+}

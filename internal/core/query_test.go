@@ -1,0 +1,418 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"minoaner/internal/datagen"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+	"minoaner/internal/matching"
+	"minoaner/internal/parallel"
+)
+
+// buildBatchGraph rebuilds the monolithic disjunctive blocking graph over a
+// substrate — the frozen batch rows QueryEntity must reproduce entity for
+// entity.
+func buildBatchGraph(t *testing.T, sub *Substrate) *graph.Graph {
+	t.Helper()
+	eng := parallel.New(sub.cfg.Workers)
+	g, _, err := graph.BuildTimedCtx(context.Background(), eng, graph.Input{
+		K1: sub.k1, K2: sub.k2,
+		NameBlocks:  sub.nameBlocks,
+		TokenBlocks: sub.TokenBlocks(),
+		TokenIndex:  sub.tokenIx,
+		Top1:        sub.top1,
+		Top2:        sub.top2,
+		K:           sub.cfg.TopK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// expectedQueryMatches assembles, from the BATCH graph rows of entity e, the
+// QueryMatch list the query path must return: α candidates first in entity
+// order, then the fused rank-aggregation order, with the batch per-entity
+// rule claims (R1 membership, R2's top-β-weight ≥ 1 predicate, R3's top
+// aggregate pick) and R4's reciprocity bit.
+func expectedQueryMatches(sub *Substrate, g *graph.Graph, e kb.EntityID, mc matching.Config) []QueryMatch {
+	beta, gamma := g.Beta1[e], g.Gamma1[e]
+	var alpha []kb.EntityID
+	if mc.EnableR1 {
+		alpha = g.Alpha1[e]
+	}
+	ranking := matching.RankAggregateRow(matching.NewAggScratch(), beta, gamma, mc.Theta, mc.UseNeighbors)
+	r2cand := kb.NoEntity
+	if mc.EnableR2 && len(beta) > 0 && beta[0].Weight >= 1 {
+		r2cand = beta[0].To
+	}
+	weightIn := func(row []graph.Edge, to kb.EntityID) float64 {
+		for _, ed := range row {
+			if ed.To == to {
+				return ed.Weight
+			}
+		}
+		return 0
+	}
+	emit := func(c kb.EntityID, rule matching.Rule, score float64) QueryMatch {
+		return QueryMatch{
+			Candidate:   c,
+			URI:         sub.k2.Entity(c).URI,
+			Rule:        rule,
+			Score:       score,
+			ValueSim:    weightIn(beta, c),
+			NeighborSim: weightIn(gamma, c),
+			Reciprocal:  g.HasDirectedEdge2(c, e),
+		}
+	}
+	out := make([]QueryMatch, 0, len(alpha)+len(ranking))
+	for _, c := range alpha {
+		out = append(out, emit(c, matching.RuleName, weightIn(ranking, c)))
+	}
+	for i, ed := range ranking {
+		in := false
+		for _, c := range alpha {
+			if c == ed.To {
+				in = true
+			}
+		}
+		if in {
+			continue
+		}
+		rule := matching.RuleNone
+		switch {
+		case ed.To == r2cand:
+			rule = matching.RuleValue
+		case i == 0 && mc.EnableR3:
+			rule = matching.RuleRank
+		}
+		out = append(out, emit(ed.To, rule, ed.Weight))
+	}
+	return out
+}
+
+// randomPair builds two KBs with overlapping labels, shared tokens and
+// random internal links — the randomized fixtures of the query/batch
+// equivalence property test.
+func randomPair(seed int64, n int) (*kb.KB, *kb.KB) {
+	r := rand.New(rand.NewSource(seed))
+	b1, b2 := kb.NewBuilder("Q1"), kb.NewBuilder("Q2")
+	vocab := []string{"alpha", "beta", "gamma", "delta", "rho", "sigma", "tau", "omega"}
+	for i := 0; i < n; i++ {
+		b1.AddEntity(fmt.Sprintf("q1:e%d", i))
+		b2.AddEntity(fmt.Sprintf("q2:e%d", i))
+	}
+	for i := 0; i < n; i++ {
+		id1, id2 := kb.EntityID(i), kb.EntityID(i)
+		label := fmt.Sprintf("ent%d %s %s", i, vocab[r.Intn(len(vocab))], vocab[r.Intn(len(vocab))])
+		b1.AddLiteral(id1, "name", label)
+		if r.Intn(4) > 0 {
+			b2.AddLiteral(id2, "name", label)
+		} else {
+			b2.AddLiteral(id2, "name", fmt.Sprintf("other%d %s", i, vocab[r.Intn(len(vocab))]))
+		}
+		if r.Intn(2) == 0 {
+			b1.AddLiteral(id1, "note", vocab[r.Intn(len(vocab))])
+		}
+		if r.Intn(2) == 0 {
+			b2.AddLiteral(id2, "note", vocab[r.Intn(len(vocab))])
+		}
+		for l := r.Intn(3); l > 0; l-- {
+			b1.AddObject(id1, "linked", fmt.Sprintf("q1:e%d", r.Intn(n)))
+			b2.AddObject(id2, "linked", fmt.Sprintf("q2:e%d", r.Intn(n)))
+		}
+		if r.Intn(3) == 0 {
+			b1.AddObject(id1, "cites", fmt.Sprintf("q1:e%d", r.Intn(n)))
+		}
+	}
+	return b1.Build(), b2.Build()
+}
+
+// checkQueryEquivalence asserts that replaying every E1 entity through
+// QueryEntity reproduces its batch candidate rows and per-entity rule
+// decisions exactly.
+func checkQueryEquivalence(t *testing.T, name string, k1, k2 *kb.KB, cfg Config) {
+	t.Helper()
+	ctx := context.Background()
+	sub, err := BuildSubstrate(ctx, k1, k2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildBatchGraph(t, sub)
+	mc := *sub.cfg.Rules
+	mc.Theta = sub.cfg.Theta
+	for i := 0; i < k1.Len(); i++ {
+		e := kb.EntityID(i)
+		got, err := QueryEntity(ctx, sub, QueryFromEntity(k1, e), cfg)
+		if err != nil {
+			t.Fatalf("%s: QueryEntity(%d): %v", name, e, err)
+		}
+		want := expectedQueryMatches(sub, g, e, mc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: entity %d: query/batch divergence\n got: %+v\nwant: %+v", name, e, got, want)
+		}
+	}
+}
+
+// Property: for every entity e ∈ E1, QueryEntity on the frozen substrate
+// reproduces exactly the batch candidate rows (α, β, γ, fused ranking) and
+// the per-entity R1–R4 decisions — on the skewed determinism fixture,
+// randomized fixtures, and one Table-1 preset.
+func TestQueryEntityMatchesBatch(t *testing.T) {
+	k1, k2 := skewedKBs(300)
+	checkQueryEquivalence(t, "skewed-300", k1, k2, Config{Workers: 4})
+	for seed := int64(0); seed < 4; seed++ {
+		r1, r2 := randomPair(700+seed, 80)
+		checkQueryEquivalence(t, fmt.Sprintf("random-%d", seed), r1, r2, Config{Workers: 2})
+	}
+	// Ablated rules must flow through to query rule claims the same way.
+	a1, a2 := randomPair(900, 60)
+	rules := matching.Config{EnableR2: true, EnableR3: true, UseNeighbors: false}
+	checkQueryEquivalence(t, "ablated", a1, a2, Config{Workers: 2, Rules: &rules})
+}
+
+func TestQueryEntityMatchesBatchOnPreset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("preset equivalence sweep skipped in -short")
+	}
+	profile := datagen.Presets()[0]
+	d, err := datagen.Generate(datagen.Scale(profile, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQueryEquivalence(t, profile.Name, d.K1, d.K2, Config{})
+}
+
+// A substrate must serve many concurrent queries race-free with
+// deterministic results; run under -race this doubles as the hammer test.
+func TestQueryEntityConcurrent(t *testing.T) {
+	ctx := context.Background()
+	k1, k2 := skewedKBs(200)
+	cfg := Config{Workers: 2}
+	sub, err := BuildSubstrate(ctx, k1, k2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No prewarm on purpose: the goroutines below race to build the lazy
+	// query state through the singleflight path.
+	refs := make([][]QueryMatch, k1.Len())
+	refSub, err := BuildSubstrate(ctx, k1, k2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		if refs[i], err = QueryEntity(ctx, refSub, QueryFromEntity(k1, kb.EntityID(i)), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newQuery := EntityQuery{
+		URI:     "q:new",
+		Attrs:   []kb.AttributeValue{{Attribute: "label", Value: "pop2 pop3 freshtoken"}},
+		Objects: []QueryObject{{Predicate: "linked", Object: "s1:e10"}},
+	}
+	newRef, err := QueryEntity(ctx, refSub, newQuery, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e := (w*41 + i*7) % k1.Len()
+				got, err := QueryEntity(ctx, sub, QueryFromEntity(k1, kb.EntityID(e)), cfg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, refs[e]) {
+					errs <- fmt.Errorf("worker %d: entity %d diverged under concurrency", w, e)
+					return
+				}
+				if i%8 == 0 {
+					got, err := QueryEntity(ctx, sub, newQuery, cfg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !reflect.DeepEqual(got, newRef) {
+						errs <- fmt.Errorf("worker %d: new-entity query diverged under concurrency", w)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryEntityNewEntity(t *testing.T) {
+	ctx := context.Background()
+	b1, b2 := kb.NewBuilder("N1"), kb.NewBuilder("N2")
+	for i := 0; i < 12; i++ {
+		id1 := b1.AddEntity(fmt.Sprintf("n1:e%d", i))
+		id2 := b2.AddEntity(fmt.Sprintf("n2:e%d", i))
+		b1.AddLiteral(id1, "name", fmt.Sprintf("left item %d", i))
+		b2.AddLiteral(id2, "name", fmt.Sprintf("right item %d", i))
+		if i > 0 {
+			b1.AddObject(id1, "linked", fmt.Sprintf("n1:e%d", i-1))
+		}
+	}
+	// One K2-only name a new entity can α-match.
+	b2.AddLiteral(kb.EntityID(5), "name", "the unique beacon")
+	k1, k2 := b1.Build(), b2.Build()
+	sub, err := BuildSubstrate(ctx, k1, k2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EntityQuery{
+		URI:   "q:new",
+		Attrs: []kb.AttributeValue{{Attribute: "name", Value: "The Unique Beacon!"}},
+		Objects: []QueryObject{
+			{Predicate: "linked", Object: "n1:e3"},
+			{Predicate: "neverseen", Object: "n1:e4"},
+			{Predicate: "linked", Object: "missing:uri"}, // demoted to a literal
+		},
+	}
+	ms, err := QueryEntity(ctx, sub, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("new-entity query found no candidates")
+	}
+	if ms[0].Rule != matching.RuleName || ms[0].Candidate != kb.EntityID(5) {
+		t.Fatalf("expected α match on entity 5 first, got %+v", ms[0])
+	}
+	for _, m := range ms {
+		if m.Reciprocal {
+			t.Fatalf("new entity cannot have reciprocal back-edges: %+v", m)
+		}
+	}
+
+	// A new entity reusing an EXISTING E1 entity's unique name must not α
+	// match (the name is no longer unique on the E1 side once it arrives).
+	taken := EntityQuery{URI: "q:dup", Attrs: []kb.AttributeValue{{Attribute: "name", Value: "right item 4"}}}
+	// "right item 4" exists only in K2 → α candidate allowed…
+	ms, err = QueryEntity(ctx, sub, taken, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 || ms[0].Rule != matching.RuleName {
+		t.Fatalf("K2-unique name should α-match, got %+v", ms)
+	}
+	// …while an E1-used name must not.
+	used := EntityQuery{URI: "q:used", Attrs: []kb.AttributeValue{{Attribute: "name", Value: "left item 4"}}}
+	ms, err = QueryEntity(ctx, sub, used, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Rule == matching.RuleName {
+			t.Fatalf("name used by an E1 entity α-matched a new entity: %+v", m)
+		}
+	}
+
+	if _, err := QueryEntity(ctx, sub, EntityQuery{SelfURI: "nope:nope"}, Config{}); err == nil {
+		t.Fatal("unknown SelfURI must be rejected")
+	}
+	if ms, err := QueryEntity(ctx, sub, EntityQuery{URI: "q:empty"}, Config{}); err != nil || len(ms) != 0 {
+		t.Fatalf("empty query = (%v, %v), want no candidates", ms, err)
+	}
+}
+
+// BuildSubstrate + ResolveWith must equal Resolve byte for byte, across
+// repeated and sharded consumption of one substrate.
+func TestResolveWithMatchesResolve(t *testing.T) {
+	ctx := context.Background()
+	k1, k2 := skewedKBs(300)
+	ref, err := Resolve(k1, k2, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest := digest(t, ref)
+	sub, err := BuildSubstrate(ctx, k1, k2, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		out, err := ResolveWith(ctx, sub, Config{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest(t, out) != refDigest {
+			t.Fatalf("ResolveWith round %d differs from Resolve", round)
+		}
+	}
+	outSharded, err := ResolveWith(ctx, sub, Config{Workers: 4, ShardCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(t, outSharded) != refDigest {
+		t.Fatal("sharded ResolveWith differs from Resolve")
+	}
+	// Queries and batch resolution share one substrate without interference.
+	if _, err := QueryEntity(ctx, sub, QueryFromEntity(k1, 0), Config{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ResolveWith(ctx, sub, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(t, out) != refDigest {
+		t.Fatal("ResolveWith after QueryEntity differs from Resolve")
+	}
+}
+
+// OmitTokenBlocks must change nothing but Output.TokenBlocks.
+func TestOmitTokenBlocks(t *testing.T) {
+	k1, k2 := skewedKBs(300)
+	full, err := Resolve(k1, k2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		lean, err := ResolveSharded(context.Background(), k1, k2, Config{OmitTokenBlocks: true}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lean.TokenBlocks != nil {
+			t.Fatal("OmitTokenBlocks still materialized Output.TokenBlocks")
+		}
+		if !reflect.DeepEqual(lean.Matches, full.Matches) ||
+			lean.RemovedByR4 != full.RemovedByR4 ||
+			lean.GraphEdges != full.GraphEdges ||
+			lean.PurgedBlocks != full.PurgedBlocks ||
+			lean.PurgeThreshold != full.PurgeThreshold ||
+			!reflect.DeepEqual(lean.NameAttrs1, full.NameAttrs1) ||
+			!reflect.DeepEqual(lean.NameAttrs2, full.NameAttrs2) ||
+			lean.NameBlocks.Len() != full.NameBlocks.Len() {
+			t.Fatalf("OmitTokenBlocks changed decisions (shards=%d)", shards)
+		}
+	}
+	// The lazy accessor still materializes the identical collection on ask.
+	sub, err := BuildSubstrate(context.Background(), k1, k2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := sub.TokenBlocks()
+	if tb.Len() != full.TokenBlocks.Len() || tb.TotalComparisons() != full.TokenBlocks.TotalComparisons() {
+		t.Fatalf("lazy TokenBlocks = (%d blocks, %d comparisons), want (%d, %d)",
+			tb.Len(), tb.TotalComparisons(), full.TokenBlocks.Len(), full.TokenBlocks.TotalComparisons())
+	}
+	if sub.TokenBlocks() != tb {
+		t.Fatal("TokenBlocks must cache its materialization")
+	}
+}

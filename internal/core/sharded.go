@@ -15,12 +15,10 @@ import (
 	"context"
 	"time"
 
-	"minoaner/internal/blocking"
 	"minoaner/internal/graph"
 	"minoaner/internal/kb"
 	"minoaner/internal/matching"
 	"minoaner/internal/parallel"
-	"minoaner/internal/stats"
 )
 
 // effectiveShards resolves the shard count of a normalized Config for an E1
@@ -59,13 +57,15 @@ func shardSpans(n, p int) []parallel.Span {
 }
 
 // ResolveSharded runs the full MinoanER pipeline with E1 split into p
-// contiguous shards. Output (matches, rule provenance, R4 removals, graph
-// edge count, block statistics) is byte-identical to Resolve / ResolveContext
-// on the same inputs for every p; peak memory drops because the E1-side γ
-// lists — the largest per-node structure the monolithic graph retains — and
-// the per-shard transients live one shard at a time, and because the two γ
-// adjacencies are built sequentially instead of held together. p < 1 falls
-// back to the count implied by cfg (ShardCount / MaxShardBytes, else 1).
+// contiguous shards — the same BuildSubstrate + resolveWith composition as
+// ResolveContext, with the per-entity stages sharded. Output (matches, rule
+// provenance, R4 removals, graph edge count, block statistics) is
+// byte-identical to Resolve / ResolveContext on the same inputs for every p;
+// peak memory drops because the E1-side γ lists — the largest per-node
+// structure the monolithic graph retains — and the per-shard transients live
+// one shard at a time, and because the two γ adjacencies are built
+// sequentially instead of held together. p < 1 falls back to the count
+// implied by cfg (ShardCount / MaxShardBytes, else 1).
 func ResolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Output, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -74,127 +74,26 @@ func ResolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 	if p < 1 {
 		p = cfg.effectiveShards(k1.Len())
 	}
-	return resolveSharded(ctx, k1, k2, cfg, p)
+	eng := parallel.New(cfg.Workers)
+	sub, err := buildSubstrate(ctx, eng, k1, k2, cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	return resolveWith(ctx, eng, sub, cfg, p)
 }
 
-// resolveSharded is the sharded pipeline over a normalized Config.
-func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Output, error) {
-	eng := parallel.New(cfg.Workers)
-	shards := shardSpans(k1.Len(), p)
-	out := &Output{}
-	start := time.Now()
-
-	// Stage 1 — statistics. Name attributes and relation importances are
-	// global aggregates, computed exactly as in the monolithic pipeline; the
-	// per-entity top-neighbor rows of E1 are extracted shard at a time (the
-	// E2 side stays a single pass, concurrent with the shard loop).
-	t0 := time.Now()
-	var (
-		ranks1, ranks2 []int32
-		top1, top2     [][]kb.EntityID
-	)
-	err := eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			var err error
-			out.NameAttrs1, err = stats.NameAttributesCtx(sc, eng, k1, cfg.NameK)
-			return err
-		},
-		func(sc context.Context) error {
-			var err error
-			out.NameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	out.Timings.StatsAttributes = time.Since(t0)
-	t1 := time.Now()
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
-			ranks1 = stats.RelationRanks(k1, ri)
-			return err
-		},
-		func(sc context.Context) error {
-			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
-			ranks2 = stats.RelationRanks(k2, ri)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	out.Timings.StatsRelations = time.Since(t1)
-	t1 = time.Now()
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			top1 = make([][]kb.EntityID, k1.Len())
-			for _, s := range shards {
-				rows, err := stats.TopNeighborsRanksSpanCtx(sc, eng, k1, ranks1, cfg.RelN, s)
-				if err != nil {
-					return err
-				}
-				copy(top1[s.Lo:s.Hi], rows)
-			}
-			return nil
-		},
-		func(sc context.Context) error {
-			var err error
-			top2, err = stats.TopNeighborsRanksCtx(sc, eng, k2, ranks2, cfg.RelN)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	out.Timings.StatsTopNeighbors = time.Since(t1)
-	out.Timings.Statistics = time.Since(t0)
-
-	// Stage 2 — composite blocking: identical to the monolithic pipeline;
-	// the name blocks and the purged TokenIndex are the shared substrate
-	// every shard reads.
-	t0 = time.Now()
-	var nameBlocks *blocking.Collection
-	var tokenIx *blocking.TokenIndex
-	err = eng.ConcurrentCtx(ctx,
-		func(sc context.Context) error {
-			var err error
-			nameBlocks, err = blocking.NameBlocksCtx(sc, eng, k1, k2, out.NameAttrs1, out.NameAttrs2)
-			return err
-		},
-		func(sc context.Context) error {
-			var err error
-			tokenIx, err = blocking.NewTokenIndexCtx(sc, eng, k1, k2)
-			return err
-		},
-	)
-	if err != nil {
-		return nil, err
-	}
-	if budget := blocking.ComparisonBudget(k1.Len(), k2.Len(), cfg.MaxBlockFraction); budget > 0 {
-		out.PurgeThreshold = budget
-		tokenIx, out.PurgedBlocks = tokenIx.PurgeAbove(budget)
-	}
-	tokenBlocks := tokenIx.Collection()
-	out.NameBlocks, out.TokenBlocks = nameBlocks, tokenBlocks
-	out.Timings.Blocking = time.Since(t0)
+// resolveShardedStages runs stages 3–4 over a substrate with E1 split into p
+// shards, filling out's matches, edge counts and graph/matching timings.
+func resolveShardedStages(ctx context.Context, eng *parallel.Engine, sub *Substrate, in graph.Input, mc matching.Config, p int, out *Output) error {
+	shards := shardSpans(sub.k1.Len(), p)
 
 	// Stage 3 — disjunctive blocking graph, sharded: α, both β directions
 	// and the E2-side γ lists are materialized; the E1-side γ rows are left
 	// to the scope and produced per shard during matching.
-	t0 = time.Now()
-	g, scope, gt, err := graph.BuildShardedCtx(ctx, eng, graph.Input{
-		K1: k1, K2: k2,
-		NameBlocks:  nameBlocks,
-		TokenBlocks: tokenBlocks,
-		TokenIndex:  tokenIx,
-		Top1:        top1,
-		Top2:        top2,
-		K:           cfg.TopK,
-	}, shards)
+	t0 := time.Now()
+	g, scope, gt, err := graph.BuildShardedCtx(ctx, eng, in, shards)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	out.Timings.Graph = time.Since(t0)
 	out.Timings.GraphBeta = gt.Beta
@@ -219,11 +118,9 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 		}
 		return rows, nil
 	}
-	mc := *cfg.Rules
-	mc.Theta = cfg.Theta
-	res, err := matching.RunShardedCtx(ctx, eng, g, k1, k2, mc, shards, gammaFor)
+	res, err := matching.RunShardedCtx(ctx, eng, g, sub.k1, sub.k2, mc, shards, gammaFor)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	out.Matches = res.Matches
 	out.RemovedByR4 = res.RemovedByR4
@@ -231,7 +128,5 @@ func resolveSharded(ctx context.Context, k1, k2 *kb.KB, cfg Config, p int) (*Out
 	out.Timings.Graph += gammaTime
 	out.Timings.GraphGamma += gammaTime
 	out.Timings.Matching = time.Since(t0) - gammaTime
-
-	out.Timings.Total = time.Since(start)
-	return out, nil
+	return nil
 }

@@ -1,0 +1,226 @@
+// The build-once substrate: every expensive pair-level structure the
+// pipeline derives from a KB pair BEFORE any resolution decision is made —
+// discovered name attributes, name lookups, dense relation ranks,
+// top-neighbor rows, name blocks and the purged columnar TokenIndex — packed
+// into one immutable value that can be built once and consumed many times:
+// by a full batch resolution (ResolveWith), by another resolution with
+// different matching rules, or by per-entity queries (QueryEntity). This is
+// the seam ROADMAP's resolution-as-a-service arc needs: the substrate is the
+// state a server keeps warm, and everything downstream of it is cheap.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+	"minoaner/internal/stats"
+)
+
+// Substrate is the reusable pair-level state of one (K1, K2, Config) triple:
+// stages 1–2 of the pipeline (statistics and composite blocking) frozen into
+// an immutable value. It is safe for concurrent use — nothing in it mutates
+// after BuildSubstrate returns except three lazily built, internally
+// synchronized caches (the materialized token-block collection, the query
+// graph and the per-query scratch pool).
+//
+// Build-time parameters (NameK, RelN, MaxBlockFraction, sharding) are baked
+// in: ResolveWith and QueryEntity consume the substrate as-is and only
+// matching-side parameters (TopK, Theta, Rules) of their own Config apply.
+type Substrate struct {
+	k1, k2 *kb.KB
+	cfg    Config // normalized build-time config
+
+	nameAttrs1, nameAttrs2 []string
+	names1, names2         *stats.NameLookup
+	ranks1, ranks2         []int32
+	top1, top2             [][]kb.EntityID
+
+	nameBlocks     *blocking.Collection
+	tokenIx        *blocking.TokenIndex // purged
+	purgedBlocks   int
+	purgeThreshold int64
+
+	// timings carries the stage-1/2 wall clock into every Output produced
+	// from this substrate; buildWall is the full BuildSubstrate duration,
+	// added to ResolveWith's own elapsed time so Output.Timings.Total keeps
+	// the historical "whole pipeline" meaning.
+	timings   Timings
+	buildWall time.Duration
+
+	// blocksOnce guards the lazy materialization of the token-block
+	// collection (satellite: a long-lived substrate serving queries never
+	// pays for the historical block output unless someone asks).
+	blocksOnce  sync.Once
+	tokenBlocks *blocking.Collection
+
+	// query is the lazily built per-entity query state; queryMu serializes
+	// the first build (singleflight — unlike sync.Once a failed build can be
+	// retried, e.g. after a cancelled context).
+	query   atomic.Pointer[queryState]
+	queryMu sync.Mutex
+}
+
+// BuildSubstrate runs stages 1–2 of the pipeline — statistics (name
+// discovery, relation ranks, top neighbors) and composite blocking (name
+// blocks, token indexing, Block Purging) — and freezes the results. The
+// returned substrate is immutable and safe to share across goroutines.
+func BuildSubstrate(ctx context.Context, k1, k2 *kb.KB, cfg Config) (*Substrate, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	eng := parallel.New(cfg.Workers)
+	return buildSubstrate(ctx, eng, k1, k2, cfg, cfg.effectiveShards(k1.Len()))
+}
+
+// buildSubstrate is the internal form over a normalized Config and resolved
+// shard count. With p > 1 the E1 top-neighbor rows are extracted one
+// contiguous shard at a time (bounded transient memory, exactly as the
+// sharded pipeline always did); the rows are byte-identical either way.
+func buildSubstrate(ctx context.Context, eng *parallel.Engine, k1, k2 *kb.KB, cfg Config, p int) (*Substrate, error) {
+	sub := &Substrate{k1: k1, k2: k2, cfg: cfg}
+	start := time.Now()
+
+	// Stage 1 — statistics: name attributes, relation importance and top
+	// neighbors for both KBs. The two KBs of each sub-stage run concurrently
+	// (Figure 4's left column); sub-stages are separated by barriers so each
+	// one's wall clock is measured cleanly for the regression gate.
+	t0 := time.Now()
+	err := eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			sub.nameAttrs1, err = stats.NameAttributesCtx(sc, eng, k1, cfg.NameK)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			sub.nameAttrs2, err = stats.NameAttributesCtx(sc, eng, k2, cfg.NameK)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	sub.timings.StatsAttributes = time.Since(t0)
+	t1 := time.Now()
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k1)
+			sub.ranks1 = stats.RelationRanks(k1, ri)
+			return err
+		},
+		func(sc context.Context) error {
+			ri, err := stats.RelationImportancesCtx(sc, eng, k2)
+			sub.ranks2 = stats.RelationRanks(k2, ri)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	sub.timings.StatsRelations = time.Since(t1)
+	t1 = time.Now()
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			if p > 1 {
+				sub.top1 = make([][]kb.EntityID, k1.Len())
+				for _, s := range shardSpans(k1.Len(), p) {
+					rows, err := stats.TopNeighborsRanksSpanCtx(sc, eng, k1, sub.ranks1, cfg.RelN, s)
+					if err != nil {
+						return err
+					}
+					copy(sub.top1[s.Lo:s.Hi], rows)
+				}
+				return nil
+			}
+			var err error
+			sub.top1, err = stats.TopNeighborsRanksCtx(sc, eng, k1, sub.ranks1, cfg.RelN)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			sub.top2, err = stats.TopNeighborsRanksCtx(sc, eng, k2, sub.ranks2, cfg.RelN)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	sub.timings.StatsTopNeighbors = time.Since(t1)
+	sub.timings.Statistics = time.Since(t0)
+	sub.names1 = stats.NewNameLookup(k1, sub.nameAttrs1)
+	sub.names2 = stats.NewNameLookup(k2, sub.nameAttrs2)
+
+	// Stage 2 — composite blocking: name blocking ∥ columnar token indexing
+	// (the shared-interner token space flows from the KB builders through
+	// the index into graph construction), then Block Purging of stop-word
+	// token blocks applied to the index.
+	t0 = time.Now()
+	err = eng.ConcurrentCtx(ctx,
+		func(sc context.Context) error {
+			var err error
+			sub.nameBlocks, err = blocking.NameBlocksCtx(sc, eng, k1, k2, sub.nameAttrs1, sub.nameAttrs2)
+			return err
+		},
+		func(sc context.Context) error {
+			var err error
+			sub.tokenIx, err = blocking.NewTokenIndexCtx(sc, eng, k1, k2)
+			return err
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	// One formula for the purging threshold, shared with blocking.AutoPurge.
+	if budget := blocking.ComparisonBudget(k1.Len(), k2.Len(), cfg.MaxBlockFraction); budget > 0 {
+		sub.purgeThreshold = budget
+		sub.tokenIx, sub.purgedBlocks = sub.tokenIx.PurgeAbove(budget)
+	}
+	sub.timings.Blocking = time.Since(t0)
+	sub.buildWall = time.Since(start)
+	return sub, nil
+}
+
+// K1 returns the substrate's first (query-side) KB.
+func (s *Substrate) K1() *kb.KB { return s.k1 }
+
+// K2 returns the substrate's second (candidate-side) KB.
+func (s *Substrate) K2() *kb.KB { return s.k2 }
+
+// Config returns the normalized configuration the substrate was built with.
+func (s *Substrate) Config() Config { return s.cfg }
+
+// NameAttrs returns the discovered name attributes of each KB.
+func (s *Substrate) NameAttrs() (nameAttrs1, nameAttrs2 []string) {
+	return s.nameAttrs1, s.nameAttrs2
+}
+
+// NameBlocks returns the name block collection.
+func (s *Substrate) NameBlocks() *blocking.Collection { return s.nameBlocks }
+
+// TokenIndex returns the purged columnar token index.
+func (s *Substrate) TokenIndex() *blocking.TokenIndex { return s.tokenIx }
+
+// PurgedBlocks reports how many token blocks Block Purging removed;
+// PurgeThreshold the applied per-block comparison cap (0 = none).
+func (s *Substrate) PurgedBlocks() int { return s.purgedBlocks }
+
+// PurgeThreshold reports the applied per-block comparison cap (0 = none).
+func (s *Substrate) PurgeThreshold() int64 { return s.purgeThreshold }
+
+// BuildDuration reports the wall clock of BuildSubstrate.
+func (s *Substrate) BuildDuration() time.Duration { return s.buildWall }
+
+// TokenBlocks materializes the historical token-block collection (the
+// Table-2 statistics view of the purged index) on first call and caches it.
+// Batch ResolveWith calls it unless Config.OmitTokenBlocks is set; a
+// substrate that only serves queries never materializes it.
+func (s *Substrate) TokenBlocks() *blocking.Collection {
+	s.blocksOnce.Do(func() { s.tokenBlocks = s.tokenIx.Collection() })
+	return s.tokenBlocks
+}

@@ -4,16 +4,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"runtime/metrics"
+	"slices"
 	"strings"
 	"time"
 
 	"minoaner/internal/core"
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
+	"minoaner/internal/kb"
 )
 
 // BenchResult is the per-stage wall-clock record of one dataset's pipeline
@@ -54,6 +57,25 @@ type BenchResult struct {
 	// default one data point at workers=GOMAXPROCS next to the 1-core
 	// primary run, so the regression gate also watches parallel scaling.
 	WorkerRuns []WorkerRun `json:"worker_runs,omitempty"`
+	// QueryRuns holds the per-entity query-path data point: latency
+	// percentiles of individual QueryEntity calls over a prewarmed
+	// substrate — the "build once, query many" counterpart of the batch
+	// stage timings.
+	QueryRuns []QueryRun `json:"query_runs,omitempty"`
+}
+
+// QueryRun is one query-latency data point of a dataset: Queries sequential
+// QueryEntity calls cycling through E1 on one prewarmed substrate, reported
+// as latency percentiles in microseconds, next to the two one-time costs a
+// query-serving deployment pays up front (the substrate build and the lazy
+// query-state construction).
+type QueryRun struct {
+	Queries     int     `json:"queries"`
+	SubstrateMS float64 `json:"substrate_ms"`
+	PrewarmMS   float64 `json:"prewarm_ms"`
+	P50US       float64 `json:"p50_us"`
+	P95US       float64 `json:"p95_us"`
+	P99US       float64 `json:"p99_us"`
 }
 
 // ShardRun is one sharded-execution data point of a dataset: ResolveSharded
@@ -177,9 +199,82 @@ func (s *Suite) Bench(reps int, shardCounts, workerCounts []int) (*BenchReport, 
 			}
 			r.WorkerRuns = append(r.WorkerRuns, wr)
 		}
+		qr, err := benchQuery(d, cfg, benchQueryCount)
+		if err != nil {
+			return nil, err
+		}
+		r.QueryRuns = append(r.QueryRuns, qr)
 		report.Results = append(report.Results, r)
 	}
 	return report, nil
+}
+
+// benchQueryCount is the minimum number of QueryEntity calls behind a
+// QueryRun's percentiles — enough samples for a meaningful p99.
+const benchQueryCount = 1000
+
+// benchQuery measures the per-entity query path: BuildSubstrate once,
+// prewarm the lazy query state, then time at least minQueries individual
+// QueryEntity calls cycling through E1 (queries prebuilt outside the timed
+// region, so a sample is the query path alone). Single-threaded on purpose —
+// the percentiles describe one query's latency, not throughput.
+func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, error) {
+	ctx := context.Background()
+	qr := QueryRun{}
+	start := time.Now()
+	sub, err := core.BuildSubstrate(ctx, d.K1, d.K2, cfg)
+	if err != nil {
+		return qr, err
+	}
+	qr.SubstrateMS = ms(time.Since(start))
+	start = time.Now()
+	if err := sub.PrewarmQueries(ctx); err != nil {
+		return qr, err
+	}
+	qr.PrewarmMS = ms(time.Since(start))
+
+	n := d.K1.Len()
+	if n == 0 {
+		return qr, fmt.Errorf("experiments: dataset %s has an empty E1", d.Profile.Name)
+	}
+	queries := make([]core.EntityQuery, n)
+	for i := range queries {
+		queries[i] = core.QueryFromEntity(d.K1, kb.EntityID(i))
+	}
+	total := minQueries
+	if rem := total % n; rem != 0 {
+		total += n - rem // whole passes over E1, so every entity weighs equally
+	}
+	// One untimed warm-up pass populates the scratch pool.
+	if _, err := core.QueryEntity(ctx, sub, queries[0], cfg); err != nil {
+		return qr, err
+	}
+	lat := make([]time.Duration, 0, total)
+	for i := 0; i < total; i++ {
+		q := queries[i%n]
+		t0 := time.Now()
+		if _, err := core.QueryEntity(ctx, sub, q, cfg); err != nil {
+			return qr, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	slices.Sort(lat)
+	qr.Queries = total
+	qr.P50US = percentileUS(lat, 0.50)
+	qr.P95US = percentileUS(lat, 0.95)
+	qr.P99US = percentileUS(lat, 0.99)
+	return qr, nil
+}
+
+// percentileUS reads the p-th percentile (nearest-rank) of sorted latencies
+// in microseconds.
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	idx = max(0, min(idx, len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1000
 }
 
 // benchWorkers times the monolithic pipeline at one worker count (0 = all
@@ -351,6 +446,11 @@ func FormatBench(r *BenchReport) string {
 			fmt.Fprintf(&sb, "  %-16s %9.1f %9.1f %9.1f %9.1f %9.1f %19d\n",
 				"workers="+workersLabel(wr.Workers, wr.ResolvedWorkers), wr.StatisticsMS,
 				wr.BlockingMS, wr.GraphMS, wr.MatchingMS, wr.TotalMS, wr.Matches)
+		}
+		for _, qr := range x.QueryRuns {
+			fmt.Fprintf(&sb, "  %-16s p50=%.0fµs p95=%.0fµs p99=%.0fµs (substrate %.1fms + prewarm %.1fms)\n",
+				fmt.Sprintf("query×%d", qr.Queries), qr.P50US, qr.P95US, qr.P99US,
+				qr.SubstrateMS, qr.PrewarmMS)
 		}
 	}
 	return sb.String()

@@ -15,6 +15,15 @@ import (
 // full tolerance (an algorithmic regression) still does.
 const checkFloorMS = 10.0
 
+// Query-latency gate constants: percentiles whose baseline sits below
+// queryFloorUS are judged against the floor (same rationale as checkFloorMS),
+// and p99 is additionally held to an ABSOLUTE ceiling — a per-entity query
+// must stay interactive regardless of what the baseline recorded.
+const (
+	queryFloorUS  = 500.0
+	queryP99CapUS = 5000.0
+)
+
 // ReadBenchJSON loads a benchmark report written by BenchReport.WriteJSON —
 // the committed baseline the CI regression gate compares against.
 func ReadBenchJSON(path string) (*BenchReport, error) {
@@ -125,6 +134,33 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 				if cw.Matches != c.Matches {
 					failf("%s: workers=%s produced %d matches, primary run produced %d (determinism broken)",
 						b.Dataset, workersLabel(cw.Workers, cw.ResolvedWorkers), cw.Matches, c.Matches)
+				}
+			}
+			// Query-path latency: relative to baseline (floored) like every
+			// stage, plus the absolute p99 ceiling.
+			if len(b.QueryRuns) > 0 {
+				if len(c.QueryRuns) == 0 {
+					failf("%s: query run present in baseline but not in current run", b.Dataset)
+				} else {
+					bq, cq := b.QueryRuns[0], c.QueryRuns[0]
+					percentiles := []struct {
+						name      string
+						base, cur float64
+					}{
+						{"p50", bq.P50US, cq.P50US},
+						{"p95", bq.P95US, cq.P95US},
+						{"p99", bq.P99US, cq.P99US},
+					}
+					for _, pc := range percentiles {
+						if eb := max(pc.base, queryFloorUS); pc.cur > eb*maxRatio {
+							failf("%s: query %s %.0fµs exceeds %.0fµs baseline (floored to %.0fµs) ×%.1f tolerance",
+								b.Dataset, pc.name, pc.cur, pc.base, eb, maxRatio)
+						}
+					}
+					if cq.P99US > queryP99CapUS {
+						failf("%s: query p99 %.0fµs exceeds the absolute %.0fµs ceiling",
+							b.Dataset, cq.P99US, queryP99CapUS)
+					}
 				}
 			}
 		}

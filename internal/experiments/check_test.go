@@ -16,6 +16,7 @@ func baseReport() *BenchReport {
 			Matches: 50, F1: 0.93,
 			ShardRuns:  []ShardRun{{Shards: 8, TotalMS: 110, Matches: 50}},
 			WorkerRuns: []WorkerRun{{Workers: 4, TotalMS: 40, Matches: 50}},
+			QueryRuns:  []QueryRun{{Queries: 1000, SubstrateMS: 90, P50US: 100, P95US: 300, P99US: 800}},
 		}},
 	}
 }
@@ -113,6 +114,49 @@ func TestCheckBenchFloorsNoiseFloorStages(t *testing.T) {
 	}
 }
 
+// Query-latency percentiles are gated like stage timings (relative to the
+// floored baseline) plus an absolute p99 ceiling.
+func TestCheckBenchGatesQueryRuns(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	// p50 baseline (100µs) sits below the 500µs floor: a blip under 2×500
+	// is jitter and passes…
+	cur.Results[0].QueryRuns[0].P50US = 900
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("sub-floor query jitter failed the gate: %v", err)
+	}
+	// …but blowing past the floored threshold fails.
+	cur = baseReport()
+	cur.Results[0].QueryRuns[0].P95US = 1100 // > 2 × max(300, 500)
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "query p95") {
+		t.Errorf("query p95 regression not caught: %v", err)
+	}
+	// p99 above the floor gates against its own baseline.
+	cur = baseReport()
+	cur.Results[0].QueryRuns[0].P99US = 1700 // > 2 × 800
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "query p99") {
+		t.Errorf("query p99 regression not caught: %v", err)
+	}
+	// The absolute ceiling holds even when the relative gate would pass.
+	base = baseReport()
+	base.Results[0].QueryRuns[0].P99US = 4000
+	cur = baseReport()
+	cur.Results[0].QueryRuns[0].P99US = 5500 // < 2 × 4000, > 5000
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("query p99 ceiling not enforced: %v", err)
+	}
+	// A baseline query run must not silently vanish from the current report.
+	cur = baseReport()
+	cur.Results[0].QueryRuns = nil
+	err = CheckBench(cur, baseReport(), 2.0)
+	if err == nil || !strings.Contains(err.Error(), "query run present in baseline") {
+		t.Errorf("missing query run not caught: %v", err)
+	}
+}
+
 func TestCheckBenchFailsOnF1Drop(t *testing.T) {
 	base := baseReport()
 	cur := baseReport()
@@ -194,6 +238,12 @@ func TestBenchWithShardSweep(t *testing.T) {
 	}
 	if r.WorkerRuns[0].Matches != r.Matches {
 		t.Errorf("worker run matches %d != primary %d", r.WorkerRuns[0].Matches, r.Matches)
+	}
+	if len(r.QueryRuns) != 1 {
+		t.Fatalf("query runs = %+v, want 1", r.QueryRuns)
+	}
+	if qr := r.QueryRuns[0]; qr.Queries < 1000 || qr.P99US <= 0 || qr.P50US > qr.P99US {
+		t.Errorf("implausible query run: %+v", qr)
 	}
 	if err := CheckBench(report, report, 2.0); err != nil {
 		t.Errorf("report failed self-check: %v", err)

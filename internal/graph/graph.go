@@ -147,6 +147,12 @@ func Build(e *parallel.Engine, in Input) *Graph {
 // of truth.
 func resolveIndex(in Input) *blocking.TokenIndex {
 	ix := in.TokenIndex
+	if ix != nil && in.TokenBlocks == nil {
+		// Collection-free construction (substrate callers that opted out of
+		// materializing the historical block output): the index is the only
+		// view and is honored as-is.
+		return ix
+	}
 	switch {
 	case ix == nil,
 		ix.Live() > in.TokenBlocks.Len(),

@@ -1,0 +1,67 @@
+// Per-entity query kernels: the single-row forms of the β and γ weighting
+// passes of Algorithm 1, used by the substrate query path to weight ONE new
+// description against a frozen graph instead of rebuilding candidate rows
+// for a whole KB. Each kernel is the loop body of its batch counterpart
+// (buildBetaSpan, gammaRows) applied to caller-resolved inputs, so a query
+// that mirrors a KB member's statements reproduces that member's batch row
+// bit for bit — the equivalence the core package's property tests pin.
+package graph
+
+import (
+	"minoaner/internal/blocking"
+	"minoaner/internal/kb"
+)
+
+// QueryScratch is the per-query accumulation state: one dense scoreboard
+// over the candidate KB's entity IDs plus the reusable top-K heap buffer —
+// the same scratch a batch worker holds, owned by one in-flight query
+// instead of one goroutine. A QueryScratch is not safe for concurrent use;
+// concurrent queries on one substrate each take their own (the core package
+// pools them).
+type QueryScratch struct {
+	sc *boardScratch
+}
+
+// NewQueryScratch returns scratch for querying against a candidate space of
+// otherLen entities with rows pruned to k.
+func NewQueryScratch(otherLen, k int) *QueryScratch {
+	return &QueryScratch{sc: newBoardScratch(otherLen, k)}
+}
+
+// BetaRowForTokens computes the β candidate row of one synthetic entity from
+// its resolved token IDs: the token walk of buildBetaSpan over explicit IDs
+// instead of a stored description. tids must be in token-STRING order — the
+// order kb.Description.TokenIDs presents — and resolved against the shared
+// interner without interning (kb.Interner.Lookup); tokens unknown to the
+// dictionary must be dropped by the caller, which matches the batch walk
+// because an unknown token indexes no block. The index is never mutated, so
+// concurrent query walks are safe.
+func BetaRowForTokens(ix *blocking.TokenIndex, tids []kb.TokenID, fromE1 bool, qs *QueryScratch, k int) []Edge {
+	board := qs.sc.board
+	ix.ForEachSharedTokens(tids, fromE1, func(w float64, others []kb.EntityID) {
+		for _, o := range others {
+			board.Add(o, w)
+		}
+	})
+	return qs.sc.row(k)
+}
+
+// RowFor computes the γ candidate row of one synthetic E1-side entity from
+// its top-neighbor list (stats.TopNeighborsOf over relations resolved to K1
+// entities) — the loop body of gammaRows against the scope's frozen merged
+// adjacency and reverse top-neighbor index. The scope is read-only, so
+// concurrent RowFor calls with distinct scratches are safe.
+func (sc *Gamma1Scope) RowFor(top []kb.EntityID, qs *QueryScratch) []Edge {
+	board := qs.sc.board
+	for _, na := range top {
+		for _, edge := range sc.adj1[na] {
+			for _, b := range sc.in2[edge.To] {
+				board.Add(b, edge.Weight)
+			}
+		}
+	}
+	return qs.sc.row(sc.k)
+}
+
+// K reports the per-row candidate bound the scope prunes to.
+func (sc *Gamma1Scope) K() int { return sc.k }

@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/kb"
+	"minoaner/internal/parallel"
+)
+
+// TopNeighborsOf is the query-path analogue of the per-entity top-neighbor
+// row: feeding it an existing entity's relation columns must reproduce that
+// entity's TopNeighborsRanksCtx row exactly, including the unstable-sort tie
+// handling when more than n predicate spans compete.
+func TestTopNeighborsOfMatchesBatchRow(t *testing.T) {
+	eng := parallel.New(4)
+	for seed := int64(0); seed < 5; seed++ {
+		k := randomKB(rand.New(rand.NewSource(300+seed)), 60)
+		ri, err := RelationImportancesCtx(context.Background(), eng, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks := RelationRanks(k, ri)
+		for _, n := range []int{0, 1, 2, 3, 8} {
+			rows, err := TopNeighborsRanksCtx(context.Background(), eng, k, ranks, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < k.Len(); i++ {
+				preds, objs := k.RelationColumns(kb.EntityID(i))
+				groups := make([]int32, len(preds))
+				rranks := make([]int32, len(preds))
+				for j, p := range preds {
+					groups[j] = int32(p)
+					rranks[j] = ranks[p]
+				}
+				got := TopNeighborsOf(groups, rranks, objs, n)
+				if !reflect.DeepEqual(got, rows[i]) {
+					t.Fatalf("seed=%d n=%d entity=%d: TopNeighborsOf = %v, batch row = %v",
+						seed, n, i, got, rows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopNeighborsOfEmpty(t *testing.T) {
+	if got := TopNeighborsOf(nil, nil, nil, 3); got != nil {
+		t.Fatalf("TopNeighborsOf(nil) = %v, want nil", got)
+	}
+}

@@ -410,6 +410,16 @@ func topNeighborRow(k *kb.KB, ranks []int32, n, i int) []kb.EntityID {
 			lo = j
 		}
 	}
+	return gatherTopSpans(spans, objs, n)
+}
+
+// gatherTopSpans applies localOrder selection to pre-built predicate spans:
+// keep the n most important spans (sorting only when there are more than n,
+// exactly like the historical inline code, so tie handling under the
+// unstable sort is reproduced operation for operation) and gather their
+// deduplicated, ID-sorted objects. Shared by the per-entity columnar row and
+// the synthetic-entity query path, which is what keeps the two bit-identical.
+func gatherTopSpans(spans []predSpan, objs []kb.EntityID, n int) []kb.EntityID {
 	if len(spans) > n {
 		// localOrder(e): distinct relations by global importance rank.
 		slices.SortFunc(spans, func(a, b predSpan) int { return cmp.Compare(a.rank, b.rank) })
@@ -425,6 +435,31 @@ func topNeighborRow(k *kb.KB, ranks []int32, n, i int) []kb.EntityID {
 	}
 	slices.Sort(out)
 	return slices.Compact(out)
+}
+
+// TopNeighborsOf computes the top-neighbor list of one SYNTHETIC entity —
+// a description that is not a member of the KB, as the per-entity query path
+// sees it — from its relation statements given as parallel slices: groups
+// assigns statements of the same predicate the same key (ascending, the way
+// the columnar relation spans are predicate-sorted), ranks gives each
+// statement its predicate's RelationRanks position, and objs the resolved
+// neighbor entities. Statements must be sorted by group. For an entity whose
+// statements mirror a KB member's relation columns, the result is identical
+// to that entity's TopNeighborsRanksCtx row.
+func TopNeighborsOf(groups, ranks []int32, objs []kb.EntityID, n int) []kb.EntityID {
+	if n <= 0 || len(groups) == 0 {
+		return nil
+	}
+	var spansBuf [8]predSpan
+	spans := spansBuf[:0]
+	lo := 0
+	for j := 1; j <= len(groups); j++ {
+		if j == len(groups) || groups[j] != groups[lo] {
+			spans = append(spans, predSpan{ranks[lo], int32(lo), int32(j)})
+			lo = j
+		}
+	}
+	return gatherTopSpans(spans, objs, n)
 }
 
 // TopNeighbors is TopNeighborsCtx without cancellation.

@@ -192,6 +192,55 @@ func ResolveSharded(ctx context.Context, k1, k2 *KB, cfg Config, shards int) (*O
 	return core.ResolveSharded(ctx, k1, k2, cfg, shards)
 }
 
+// AttributeValue is one literal attribute-value pair of a description —
+// the unit EntityQuery statements are expressed in.
+type AttributeValue = kb.AttributeValue
+
+// Substrate is the reusable, immutable pair-level state of a KB pair: name
+// attributes, relation ranks, top-neighbor rows, blocking collections and
+// the token index, built once by BuildSubstrate and shared by any number of
+// ResolveWith runs and concurrent QueryEntity calls.
+type Substrate = core.Substrate
+
+// EntityQuery is one entity description to resolve against a Substrate —
+// either a synthetic new entity or (via SelfURI / QueryFromEntity) a member
+// of E1 replayed through the query path.
+type EntityQuery = core.EntityQuery
+
+// QueryObject is one relation statement of an EntityQuery.
+type QueryObject = core.QueryObject
+
+// QueryMatch is one ranked candidate returned by QueryEntity, with the
+// matching-rule claim and the value/neighbor evidence behind it.
+type QueryMatch = core.QueryMatch
+
+// BuildSubstrate runs the build-once stages of the pipeline (statistics and
+// blocking) and freezes the result for reuse. Resolve is exactly
+// BuildSubstrate followed by ResolveWith.
+func BuildSubstrate(ctx context.Context, k1, k2 *KB, cfg Config) (*Substrate, error) {
+	return core.BuildSubstrate(ctx, k1, k2, cfg)
+}
+
+// ResolveWith runs the per-entity stages (blocking graph and matching) over
+// a prebuilt Substrate. For any substrate built from (k1, k2, cfg), the
+// output is byte-identical to Resolve(k1, k2, cfg).
+func ResolveWith(ctx context.Context, sub *Substrate, cfg Config) (*Output, error) {
+	return core.ResolveWith(ctx, sub, cfg)
+}
+
+// QueryEntity resolves a single entity description against a Substrate
+// without rerunning the batch pipeline, returning ranked candidates from
+// E2. A query replaying an E1 member (see QueryFromEntity) reproduces that
+// entity's batch candidate rows and rule decisions exactly. Safe for
+// concurrent use on one Substrate.
+func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config) ([]QueryMatch, error) {
+	return core.QueryEntity(ctx, sub, q, cfg)
+}
+
+// QueryFromEntity lifts an existing E1 entity into an EntityQuery that
+// replays it through the per-entity query path.
+func QueryFromEntity(k *KB, e EntityID) EntityQuery { return core.QueryFromEntity(k, e) }
+
 // Pair is a cross-KB correspondence.
 type Pair = eval.Pair
 
