@@ -5,9 +5,11 @@ REPS  ?= 3
 # The primary bench run is pinned to one core so data points are comparable
 # across machines and over time; PAR_WORKERS adds extra monolithic data
 # points at other engine sizes (0 = all cores), so the records — and the
-# regression gate — also watch parallel scaling, not just 1-core speed.
+# regression gate — also watch parallel scaling, not just 1-core speed. The
+# default sweep records the {1,2,4,8} scaling curve of the overlapped
+# substrate build per dataset.
 BENCH_WORKERS ?= 1
-PAR_WORKERS   ?= 0
+PAR_WORKERS   ?= 1,2,4,8
 # bench-check compares against the committed baseline, so its scale, shard
 # counts and worker counts must match the ones the baseline was recorded
 # with. The tolerance is deliberately loose: per-stage wall-clock on shared
@@ -17,7 +19,7 @@ CHECK_SCALE  ?= 0.25
 CHECK_SHARDS ?= 1,8
 TOLERANCE    ?= 3.0
 
-.PHONY: build test race fmt vet lint cover bench bench-test smoke smoke-examples bench-check bench-baseline profile
+.PHONY: build test race race-overlap fmt vet lint cover bench bench-test smoke smoke-examples bench-check bench-baseline profile
 
 build:
 	go build ./...
@@ -27,6 +29,13 @@ test:
 
 race:
 	go test -race ./...
+
+# race-overlap exercises the overlapped substrate build and the concurrent
+# sharded-γ construction under the race detector at an explicit workers=2
+# engine (the smallest size where the removed barriers matter), repeated so
+# goroutine interleavings vary.
+race-overlap:
+	go test -race -count=2 -run 'Overlap' ./internal/core ./internal/graph
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -224,6 +224,50 @@ func BenchmarkStageTokenBlocking(b *testing.B) {
 	}
 }
 
+// BenchmarkNameBlocks guards the columnar name-index rewrite against the
+// retained string-grouped reference: "index" is the shipped NameIndex path
+// (CSR counting pass + scatter fill over interned ValueIDs), "map" the
+// historical string-keyed grouping. Allocation counts are part of the guard
+// — the index path must stay free of per-name string and map-cell churn.
+func BenchmarkNameBlocks(b *testing.B) {
+	d := benchStatsKB(b)
+	eng := parallel.New(0)
+	ctx := context.Background()
+	na1, err := stats.NameAttributesCtx(ctx, eng, d.K1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	na2, err := stats.NameAttributesCtx(ctx, eng, d.K2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := []struct {
+		name string
+		fn   func() (*blocking.Collection, error)
+	}{
+		{"index", func() (*blocking.Collection, error) {
+			return blocking.NameBlocksCtx(ctx, eng, d.K1, d.K2, na1, na2)
+		}},
+		{"map", func() (*blocking.Collection, error) {
+			return blocking.NameBlocksMapRef(ctx, eng, d.K1, d.K2, na1, na2)
+		}},
+	}
+	for _, p := range paths {
+		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := p.fn()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Len() == 0 {
+					b.Fatal("no name blocks")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkStageGraphConstruction(b *testing.B) {
 	_, in, _ := benchComponents()
 	eng := parallel.New(0)

@@ -9,6 +9,7 @@ import (
 	"context"
 	"slices"
 	"strings"
+	"sync"
 
 	"minoaner/internal/kb"
 	"minoaner/internal/parallel"
@@ -56,8 +57,10 @@ type sideID struct {
 // blocks. Blocks with entities from only one KB are dropped: they suggest no
 // clean-clean comparisons. Keys and members come out sorted. The grouping
 // pass runs under the dynamic chunked scheduler since per-entity key counts
-// can be skewed. Name blocking still goes through here (names are few and
-// inherently string-keyed); token blocking uses the columnar TokenIndex.
+// can be skewed. Nothing in the pipeline goes through here anymore — token
+// blocking uses the columnar TokenIndex, name blocking the columnar NameIndex
+// — but it is RETAINED as the semantic reference the NameIndex property tests
+// and the NameBlocksMapRef benchmark side pin against.
 func buildCollection(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, emit1, emit2 func(i int, yield func(string))) (*Collection, error) {
 	n1 := k1.Len()
 	total := n1 + k2.Len()
@@ -117,10 +120,24 @@ func TokenBlocks(e *parallel.Engine, k1, k2 *kb.KB) *Collection {
 // NameBlocksCtx builds name blocking (§3.1, h_N): one block per normalized
 // name value under each KB's top-k name attributes. The matcher's R1 rule
 // uses only blocks of size 1×1 (a name unique in both KBs), but the full
-// collection is kept for Table 2 statistics. The name(e) evaluation goes
-// through one resolve-scoped stats.NameLookup per KB, built once before the
-// grouping pass instead of re-deriving the name-attribute set per entity.
+// collection is kept for Table 2 statistics. It is a view over the columnar
+// NameIndex — blocks are materialized from CSR member arrays filled by
+// counting interned ValueIDs, instead of re-grouping entities under name
+// STRINGS through a map (the NameBlocksMapRef path it replaced).
 func NameBlocksCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) (*Collection, error) {
+	ix, err := NewNameIndexCtx(ctx, e, k1, k2, nameAttrs1, nameAttrs2)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Collection(), nil
+}
+
+// NameBlocksMapRef is the historical string-grouped name blocking: every
+// name(e) materialized as a string and grouped under a map key through
+// buildCollection. Kept exported ONLY as the reference side of
+// BenchmarkNameBlocks and the NameIndex property tests — the pipeline uses
+// NameBlocksCtx, which must reproduce this output byte-identically.
+func NameBlocksMapRef(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB, nameAttrs1, nameAttrs2 []string) (*Collection, error) {
 	nl1 := stats.NewNameLookup(k1, nameAttrs1)
 	nl2 := stats.NewNameLookup(k2, nameAttrs2)
 	return buildCollection(ctx, e, k1, k2,
@@ -194,9 +211,10 @@ func AutoPurge(c *Collection, n1, n2 int, budgetFraction float64) (*Collection, 
 	if c.TotalComparisons() <= budget {
 		return c, 0, 0
 	}
-	sizes := make([]int64, len(c.Blocks))
+	sp := purgeScratch.Get().(*[]int64)
+	sizes := (*sp)[:0]
 	for i := range c.Blocks {
-		sizes[i] = c.Blocks[i].Comparisons()
+		sizes = append(sizes, c.Blocks[i].Comparisons())
 	}
 	slices.Sort(sizes)
 	var running int64
@@ -208,6 +226,13 @@ func AutoPurge(c *Collection, n1, n2 int, budgetFraction float64) (*Collection, 
 		running += s
 		threshold = s
 	}
+	*sp = sizes
+	purgeScratch.Put(sp)
 	kept, purged := PurgeAbove(c, threshold)
 	return kept, threshold, purged
 }
+
+// purgeScratch recycles AutoPurge's block-size scratch across calls — the
+// sort needs a copy of all sizes, but the copy need not be a fresh
+// allocation every time (AutoPurge runs per resolve and per Table-2 row).
+var purgeScratch = sync.Pool{New: func() any { return new([]int64) }}

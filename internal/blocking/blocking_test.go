@@ -238,3 +238,34 @@ func TestIndexCoOccur(t *testing.T) {
 		t.Error("Lookup")
 	}
 }
+
+// BenchmarkAutoPurge guards the purge pass over a large synthetic
+// collection: the size snapshot, sort and threshold walk dominate, and the
+// pooled scratch slice must keep steady-state allocations to the kept-slice
+// copy (no fresh sizes buffer per call).
+func BenchmarkAutoPurge(b *testing.B) {
+	const n = 20000
+	blocks := make([]Block, n)
+	for i := range blocks {
+		// Deterministic, heavily skewed sizes: mostly tiny blocks with a
+		// long tail of stop-word-sized ones, like a real token collection.
+		w := 1 + (i*2654435761)%7
+		if i%97 == 0 {
+			w *= 50
+		}
+		members := make([]kb.EntityID, w)
+		for j := range members {
+			members[j] = kb.EntityID(j)
+		}
+		blocks[i] = Block{Key: "k", E1: members, E2: members}
+	}
+	c := &Collection{Blocks: blocks}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kept, threshold, purged := AutoPurge(c, 5000, 5000, 0.001)
+		if threshold == 0 || purged == 0 || kept.Len() == 0 {
+			b.Fatal("purge did not engage; benchmark is vacuous")
+		}
+	}
+}

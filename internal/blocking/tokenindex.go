@@ -128,26 +128,7 @@ func memberFill(ctx context.Context, e *parallel.Engine, k *kb.KB, t []int32, n 
 	if err != nil {
 		return nil, nil, err
 	}
-	totals := make([]int32, n)
-	for _, lc := range locals {
-		for s, c := range lc {
-			totals[s] += c
-		}
-	}
-	off := offsets(totals)
-	// Turn the local counts into per-span write cursors in place: an
-	// exclusive prefix sum over spans on top of the global offsets.
-	running := totals // reuse: totals[s] becomes the next write position
-	copy(running, off[:n])
-	for _, lc := range locals {
-		for s, c := range lc {
-			if c == 0 {
-				continue
-			}
-			lc[s] = running[s]
-			running[s] += c
-		}
-	}
+	off := spanCursors(locals, n)
 	mem := make([]kb.EntityID, off[n])
 	err = e.ForSpansIndexedCtx(ctx, k.Len(), func(pi int, s parallel.Span) error {
 		cur := locals[pi]
@@ -164,6 +145,33 @@ func memberFill(ctx context.Context, e *parallel.Engine, k *kb.KB, t []int32, n 
 		return nil, nil, err
 	}
 	return mem, off, nil
+}
+
+// spanCursors turns per-span local slot counts into global CSR offsets and,
+// in place, into per-span write cursors: the span at position j writes slot s
+// starting at off[s] + Σ_{j'<j} counts[j'][s] (an exclusive prefix sum over
+// spans on top of the global offsets). Shared by the token and name member
+// fills — it is what makes the scatter regions exact and disjoint.
+func spanCursors(locals [][]int32, n int) []int32 {
+	totals := make([]int32, n)
+	for _, lc := range locals {
+		for s, c := range lc {
+			totals[s] += c
+		}
+	}
+	off := offsets(totals)
+	running := totals // reuse: totals[s] becomes the next write position
+	copy(running, off[:n])
+	for _, lc := range locals {
+		for s, c := range lc {
+			if c == 0 {
+				continue
+			}
+			lc[s] = running[s]
+			running[s] += c
+		}
+	}
+	return off
 }
 
 // memberFillAtomic is the pre-refactor fill: one shared count array with an

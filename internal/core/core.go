@@ -131,8 +131,16 @@ type Timings struct {
 	StatsAttributes   time.Duration
 	StatsRelations    time.Duration
 	StatsTopNeighbors time.Duration
-	Blocking          time.Duration
-	Graph             time.Duration
+	// Blocking is the sum of its two sub-clocks: BlockingName covers the
+	// columnar name index build, BlockingToken the token index build plus
+	// Block Purging. The substrate build overlaps independent sub-stages
+	// when Workers > 1, so Statistics and Blocking are CPU-work sums (their
+	// sub-stages' own clocks), while Total reflects the real, shorter
+	// elapsed wall time.
+	Blocking      time.Duration
+	BlockingName  time.Duration
+	BlockingToken time.Duration
+	Graph         time.Duration
 	// GraphBeta covers name evidence plus both β directions (one concurrent
 	// barrier); GraphGamma the adjacency merges, in-neighbor reversals and
 	// both γ directions — in the sharded pipeline including the E1 γ rows

@@ -83,6 +83,8 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 				{"stats/relations", b.StatsRelationsMS, c.StatsRelationsMS},
 				{"stats/topneighbors", b.StatsTopNeighborsMS, c.StatsTopNeighborsMS},
 				{"blocking", b.BlockingMS, c.BlockingMS},
+				{"blocking/name", b.BlockingNameMS, c.BlockingNameMS},
+				{"blocking/token", b.BlockingTokenMS, c.BlockingTokenMS},
 				{"graph", b.GraphMS, c.GraphMS},
 				{"graph/beta", b.GraphBetaMS, c.GraphBetaMS},
 				{"graph/gamma", b.GraphGammaMS, c.GraphGammaMS},

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/parallel"
+	"minoaner/internal/testkb"
+)
+
+// The concurrent γ builds of BuildShardedCtx (workers > 1) must reproduce
+// the sequential one-worker result exactly: same E2-side γ rows, same
+// deferred E1-side rows out of the scope. The CI race step runs this under
+// -race at workers=2, where the removed sequencing would hide races.
+func TestShardedGammaOverlapDeterminism(t *testing.T) {
+	w, d := testkb.Figure1()
+	in := InputFor(seq, w, d, 2, 5, 2)
+	mid := (w.Len() + 1) / 2
+	shards := []parallel.Span{{Lo: 0, Hi: mid}, {Lo: mid, Hi: w.Len()}}
+	ctx := context.Background()
+
+	gRef, scopeRef, _, err := BuildShardedCtx(ctx, seq, in, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := make([][][]Edge, len(shards))
+	for i, s := range shards {
+		if refRows[i], err = scopeRef.BuildSpan(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{2, 4} {
+		e := parallel.New(workers)
+		g, scope, _, err := BuildShardedCtx(ctx, e, in, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g.Gamma2, gRef.Gamma2) {
+			t.Fatalf("workers=%d: Gamma2 differs from sequential build", workers)
+		}
+		if !reflect.DeepEqual(g.Beta1, gRef.Beta1) || !reflect.DeepEqual(g.Beta2, gRef.Beta2) {
+			t.Fatalf("workers=%d: β rows differ from sequential build", workers)
+		}
+		for i, s := range shards {
+			rows, err := scope.BuildSpan(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rows, refRows[i]) {
+				t.Fatalf("workers=%d: γ1 rows of shard %d differ from sequential build", workers, i)
+			}
+		}
+	}
+}

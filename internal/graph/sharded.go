@@ -19,10 +19,13 @@ import (
 //
 // Per-row computations are identical to BuildCtx, so for every shard plan
 // the α/β/γ values observed by the matcher are byte-identical to the
-// monolithic graph; only their lifetime differs. Peak memory is bounded
-// further by sequencing the two γ adjacencies: the E2-side merged adjacency
-// and reverse top-neighbor index are released before the E1-side ones are
-// built, where BuildCtx holds all four simultaneously.
+// monolithic graph; only their lifetime differs. At one worker, peak memory
+// is bounded further by sequencing the two γ adjacencies: the E2-side merged
+// adjacency and reverse top-neighbor index are released before the E1-side
+// ones are built, where BuildCtx holds all four simultaneously. With more
+// workers the two γ sides build concurrently — the memory-bound sequencing
+// is traded for overlap, since a multi-worker run has headroom where the
+// 1-worker sharded run is the memory-constrained configuration.
 //
 // The returned Timings mirror BuildTimedCtx: Beta covers α and both β
 // directions, Gamma the E2-side γ construction plus the scope's shared
@@ -61,23 +64,39 @@ func BuildShardedCtx(ctx context.Context, e *parallel.Engine, in Input, shards [
 	}
 	tm.Beta = time.Since(t0)
 
-	// γ, E2 side: build its adjacency and reverse index, compute, and let
-	// both die before the E1-side adjacency is allocated below.
+	// γ: the E2-side rows and the E1-side scope prep are independent given
+	// the shared β inputs, so with more than one worker they build
+	// concurrently. At one worker they run in sequence, E2 side first, so
+	// the E2-side adjacency and reverse index die before the E1-side ones
+	// are allocated — the historical peak-memory bound.
 	t0 = time.Now()
-	adj2 := MergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
-	in1 := stats.TopInNeighbors(in.Top1)
-	gamma2, err := gammaRows(ctx, ce, parallel.Span{Lo: 0, Hi: in.K2.Len()}, in.Top2, adj2, in1, in.K)
-	if err != nil {
-		return nil, nil, tm, err
+	scope := &Gamma1Scope{eng: ce, top1: in.Top1, k: in.K}
+	buildGamma2 := func(sc context.Context) error {
+		adj2 := MergeAdjacency(g.Beta2, g.Beta1, in.K2.Len())
+		in1 := stats.TopInNeighbors(in.Top1)
+		rows, err := gammaRows(sc, ce, parallel.Span{Lo: 0, Hi: in.K2.Len()}, in.Top2, adj2, in1, in.K)
+		if err != nil {
+			return err
+		}
+		g.Gamma2 = rows
+		return nil
 	}
-	g.Gamma2 = gamma2
-
-	scope := &Gamma1Scope{
-		eng:  ce,
-		top1: in.Top1,
-		adj1: MergeAdjacency(g.Beta1, g.Beta2, in.K1.Len()),
-		in2:  stats.TopInNeighbors(in.Top2),
-		k:    in.K,
+	prepGamma1 := func(context.Context) error {
+		scope.adj1 = MergeAdjacency(g.Beta1, g.Beta2, in.K1.Len())
+		scope.in2 = stats.TopInNeighbors(in.Top2)
+		return nil
+	}
+	if e.Workers() > 1 {
+		if err := e.ConcurrentCtx(ctx, buildGamma2, prepGamma1); err != nil {
+			return nil, nil, tm, err
+		}
+	} else {
+		if err := buildGamma2(ctx); err != nil {
+			return nil, nil, tm, err
+		}
+		if err := prepGamma1(ctx); err != nil {
+			return nil, nil, tm, err
+		}
 	}
 	tm.Gamma = time.Since(t0)
 	return g, scope, tm, nil

@@ -114,6 +114,13 @@ func (s *Schema) LookupAttr(a string) (AttrID, bool) {
 	return AttrID(id), ok
 }
 
+// LookupValue returns the ID of a NORMALIZED literal value if it has been
+// interned. Callers pass NormalizeName output, like InternValue.
+func (s *Schema) LookupValue(v string) (ValueID, bool) {
+	id, ok := s.vals.lookup(v)
+	return ValueID(id), ok
+}
+
 // Pred returns the string of an interned predicate ID (lock-free; see symtab.str).
 func (s *Schema) Pred(id PredID) string { return s.preds.str(uint32(id)) }
 

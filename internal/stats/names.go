@@ -188,6 +188,10 @@ func NameAttributes(e *parallel.Engine, k *kb.KB, topK int) []string {
 type NameLookup struct {
 	k      *kb.KB
 	isName []bool
+	// empty/hasEmpty cache the ValueID of the empty normalized value, so the
+	// ID-level walk can drop it without a string comparison per statement.
+	empty    kb.ValueID
+	hasEmpty bool
 }
 
 // NewNameLookup builds the lookup for one KB and its discovered name
@@ -201,8 +205,13 @@ func NewNameLookup(k *kb.KB, nameAttrs []string) *NameLookup {
 			isName[id] = true
 		}
 	}
-	return &NameLookup{k: k, isName: isName}
+	nl := &NameLookup{k: k, isName: isName}
+	nl.empty, nl.hasEmpty = sch.LookupValue("")
+	return nl
 }
+
+// KB returns the KB the lookup was built for.
+func (nl *NameLookup) KB() *kb.KB { return nl.k }
 
 // Names returns the normalized name values of one entity — the same
 // contract as NamesOf: empty normalized values dropped, duplicates removed,
@@ -229,6 +238,38 @@ func (nl *NameLookup) Names(id kb.EntityID) []string {
 	// attributes; sort+compact handles the cross-attribute duplicates.
 	slices.Sort(out)
 	return slices.Compact(out)
+}
+
+// AppendNameValueIDs appends the deduplicated name ValueIDs of one entity to
+// dst and returns the extended slice — the ID-level form of Names: the same
+// statements qualify (name attribute, non-empty normalized value, duplicates
+// removed), but values stay interned, so callers can count them into dense
+// arrays without materializing a string per statement. The appended IDs are
+// sorted numerically; Names sorts the corresponding strings, so the SETS
+// agree while the orders differ.
+func (nl *NameLookup) AppendNameValueIDs(dst []kb.ValueID, id kb.EntityID) []kb.ValueID {
+	attrs, vals := nl.k.AttributeColumns(id)
+	base := len(dst)
+	for j, a := range attrs {
+		if int(a) >= len(nl.isName) || !nl.isName[a] {
+			continue
+		}
+		if j > 0 && a == attrs[j-1] && vals[j] == vals[j-1] {
+			continue // adjacent duplicate within the sorted span
+		}
+		if nl.hasEmpty && vals[j] == nl.empty {
+			continue
+		}
+		dst = append(dst, vals[j])
+	}
+	if len(dst)-base < 2 {
+		return dst
+	}
+	// The same value can appear under two different name attributes;
+	// sort+compact handles the cross-attribute duplicates (cf. Names).
+	tail := dst[base:]
+	slices.Sort(tail)
+	return dst[:base+len(slices.Compact(tail))]
 }
 
 // NamesOf returns the normalized name values of one entity under the given
