@@ -19,7 +19,7 @@ CHECK_SCALE  ?= 0.25
 CHECK_SHARDS ?= 1,8
 TOLERANCE    ?= 3.0
 
-.PHONY: build test race race-overlap fmt vet lint cover bench bench-test smoke smoke-examples bench-check bench-baseline profile
+.PHONY: build test race race-overlap fmt vet lint cover bench bench-test smoke smoke-examples serve-smoke bench-check bench-baseline profile
 
 build:
 	go build ./...
@@ -74,6 +74,14 @@ smoke:
 		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)"
 	go run ./cmd/minoaner -e1 /tmp/minoaner-query-smoke/e1.nt -e2 /tmp/minoaner-query-smoke/e2.nt \
 		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)" -json -quiet
+
+# serve-smoke exercises the real minoanerd binary end to end: build both
+# binaries, serve a generated dataset, load a pair, query it in both request
+# formats, byte-compare the candidate rows against `cmd/minoaner -query
+# -json`, then SIGTERM and assert a clean drain. Gated behind the env var so
+# plain `go test ./...` stays hermetic.
+serve-smoke:
+	MINOANER_SERVE_SMOKE=1 go test -run '^TestServeSmoke$$' -count=1 -v .
 
 # smoke-examples builds and runs every example program end to end (they are
 # self-contained and exit non-zero on broken invariants).

@@ -87,7 +87,7 @@ func main() {
 		return
 	}
 
-	out, err := minoaner.ResolveContext(ctx, k1, k2, cfg)
+	out, err := minoaner.Resolve(ctx, k1, k2, cfg)
 	if errors.Is(err, context.DeadlineExceeded) {
 		exitOn(fmt.Errorf("resolution exceeded -timeout %v", *timeout))
 	}
@@ -150,24 +150,12 @@ func runQuery(ctx context.Context, k1, k2 *minoaner.KB, cfg minoaner.Config, uri
 
 	w := bufio.NewWriter(os.Stdout)
 	if jsonOut {
-		type candidate struct {
-			URI         string  `json:"uri"`
-			Rule        string  `json:"rule"`
-			Score       float64 `json:"score"`
-			ValueSim    float64 `json:"value_sim,omitempty"`
-			NeighborSim float64 `json:"neighbor_sim,omitempty"`
-			Reciprocal  bool    `json:"reciprocal"`
-		}
-		cands := make([]candidate, 0, len(ms))
-		for _, m := range ms {
-			cands = append(cands, candidate{
-				URI: m.URI, Rule: m.Rule.String(), Score: m.Score,
-				ValueSim: m.ValueSim, NeighborSim: m.NeighborSim, Reciprocal: m.Reciprocal,
-			})
-		}
+		// The candidate rows use the shared wire schema, so this output is
+		// byte-compatible with the candidates array inside minoanerd's
+		// /v1/pairs/{id}/query response (make serve-smoke diffs the two).
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		exitOn(enc.Encode(cands))
+		exitOn(enc.Encode(minoaner.QueryCandidates(ms)))
 	} else {
 		for _, m := range ms {
 			fmt.Fprintf(w, "%s\t%.4f\t%s\n", m.URI, m.Score, m.Rule)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	fmt.Printf("token volume per description: %.1f vs %.1f (the Variety skew)\n\n",
 		k1.AverageTokens(), k2.AverageTokens())
 
-	out, err := minoaner.Resolve(k1, k2, minoaner.DefaultConfig())
+	out, err := minoaner.Resolve(context.Background(), k1, k2, minoaner.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

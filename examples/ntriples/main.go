@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 	k2 := loadDump(p2, "DBLP")
 	fmt.Printf("loaded %v and %v\n", k1, k2)
 
-	out, err := minoaner.Resolve(k1, k2, minoaner.DefaultConfig())
+	out, err := minoaner.Resolve(context.Background(), k1, k2, minoaner.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

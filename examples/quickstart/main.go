@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	d.AddObject(berks, "partOf", "d:England")
 	dbpedia := d.Build()
 
-	out, err := minoaner.Resolve(wikidata, dbpedia, minoaner.DefaultConfig())
+	out, err := minoaner.Resolve(context.Background(), wikidata, dbpedia, minoaner.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func main() {
 		cfg := minoaner.DefaultConfig()
 		cfg.Workers = workers
 		start := time.Now()
-		out, err := minoaner.Resolve(dataset.K1, dataset.K2, cfg)
+		out, err := minoaner.Resolve(context.Background(), dataset.K1, dataset.K2, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -308,6 +308,12 @@ func (s *Substrate) PurgeThreshold() int64 { return s.purgeThreshold }
 // BuildDuration reports the wall clock of BuildSubstrate.
 func (s *Substrate) BuildDuration() time.Duration { return s.buildWall }
 
+// Timings returns the build's per-stage clocks (statistics and blocking
+// sub-stages; the resolution stages are zero). Statistics and Blocking are
+// CPU-work sums of their sub-clocks — see Timings — while BuildDuration is
+// the real, possibly overlapped, elapsed wall time.
+func (s *Substrate) Timings() Timings { return s.timings }
+
 // TokenBlocks materializes the historical token-block collection (the
 // Table-2 statistics view of the purged index) on first call and caches it.
 // Batch ResolveWith calls it unless Config.OmitTokenBlocks is set; a

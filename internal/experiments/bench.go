@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"os"
 	"runtime"
@@ -17,6 +19,7 @@ import (
 	"minoaner/internal/datagen"
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
+	"minoaner/internal/server"
 )
 
 // BenchResult is the per-stage wall-clock record of one dataset's pipeline
@@ -66,6 +69,24 @@ type BenchResult struct {
 	// substrate — the "build once, query many" counterpart of the batch
 	// stage timings.
 	QueryRuns []QueryRun `json:"query_runs,omitempty"`
+	// LoadRuns holds the served query path: the same prewarmed substrate
+	// behind a real minoanerd HTTP server, hammered by the load-test harness
+	// at each concurrency level. Where QueryRuns isolates the kernel,
+	// LoadRuns adds transport, routing and encoding — the costs a serving
+	// deployment actually pays per request.
+	LoadRuns []LoadRun `json:"load_runs,omitempty"`
+}
+
+// LoadRun is one server-path load-test data point: Queries requests from
+// Clients concurrent HTTP clients against one shared substrate, reported as
+// throughput plus latency percentiles in microseconds.
+type LoadRun struct {
+	Clients int     `json:"clients"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50US   float64 `json:"p50_us"`
+	P95US   float64 `json:"p95_us"`
+	P99US   float64 `json:"p99_us"`
 }
 
 // QueryRun is one query-latency data point of a dataset: Queries sequential
@@ -205,11 +226,16 @@ func (s *Suite) Bench(reps int, shardCounts, workerCounts []int) (*BenchReport, 
 			}
 			r.WorkerRuns = append(r.WorkerRuns, wr)
 		}
-		qr, err := benchQuery(d, cfg, benchQueryCount)
+		qr, sub, err := benchQuery(d, cfg, benchQueryCount)
 		if err != nil {
 			return nil, err
 		}
 		r.QueryRuns = append(r.QueryRuns, qr)
+		lrs, err := benchLoad(d, sub, benchLoadClients)
+		if err != nil {
+			return nil, err
+		}
+		r.LoadRuns = lrs
 		report.Results = append(report.Results, r)
 	}
 	return report, nil
@@ -219,29 +245,37 @@ func (s *Suite) Bench(reps int, shardCounts, workerCounts []int) (*BenchReport, 
 // QueryRun's percentiles — enough samples for a meaningful p99.
 const benchQueryCount = 1000
 
+// benchLoadClients are the concurrency levels of the server-path load runs,
+// and benchLoadQueryCount the request total at each level.
+var benchLoadClients = []int{4, 16}
+
+const benchLoadQueryCount = 2000
+
 // benchQuery measures the per-entity query path: BuildSubstrate once,
 // prewarm the lazy query state, then time at least minQueries individual
 // QueryEntity calls cycling through E1 (queries prebuilt outside the timed
 // region, so a sample is the query path alone). Single-threaded on purpose —
-// the percentiles describe one query's latency, not throughput.
-func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, error) {
+// the percentiles describe one query's latency, not throughput. The prewarmed
+// substrate is returned so the load runs can reuse it instead of building a
+// third one.
+func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, *core.Substrate, error) {
 	ctx := context.Background()
 	qr := QueryRun{}
 	start := time.Now()
 	sub, err := core.BuildSubstrate(ctx, d.K1, d.K2, cfg)
 	if err != nil {
-		return qr, err
+		return qr, nil, err
 	}
 	qr.SubstrateMS = ms(time.Since(start))
 	start = time.Now()
 	if err := sub.PrewarmQueries(ctx); err != nil {
-		return qr, err
+		return qr, nil, err
 	}
 	qr.PrewarmMS = ms(time.Since(start))
 
 	n := d.K1.Len()
 	if n == 0 {
-		return qr, fmt.Errorf("experiments: dataset %s has an empty E1", d.Profile.Name)
+		return qr, nil, fmt.Errorf("experiments: dataset %s has an empty E1", d.Profile.Name)
 	}
 	queries := make([]core.EntityQuery, n)
 	for i := range queries {
@@ -253,14 +287,14 @@ func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, 
 	}
 	// One untimed warm-up pass populates the scratch pool.
 	if _, err := core.QueryEntity(ctx, sub, queries[0], cfg); err != nil {
-		return qr, err
+		return qr, nil, err
 	}
 	lat := make([]time.Duration, 0, total)
 	for i := 0; i < total; i++ {
 		q := queries[i%n]
 		t0 := time.Now()
 		if _, err := core.QueryEntity(ctx, sub, q, cfg); err != nil {
-			return qr, err
+			return qr, nil, err
 		}
 		lat = append(lat, time.Since(t0))
 	}
@@ -269,7 +303,50 @@ func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, 
 	qr.P50US = percentileUS(lat, 0.50)
 	qr.P95US = percentileUS(lat, 0.95)
 	qr.P99US = percentileUS(lat, 0.99)
-	return qr, nil
+	return qr, sub, nil
+}
+
+// benchLoad measures the served query path: the prewarmed substrate is
+// registered in a real server.Server on a loopback port and the load-test
+// harness replays E1 through POST /v1/pairs/{id}/query at each concurrency
+// level. One substrate serves every run — the server's contract — so the
+// data points differ only in client parallelism.
+func benchLoad(d *datagen.Dataset, sub *core.Substrate, clients []int) ([]LoadRun, error) {
+	srv := server.New(server.Options{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if _, err := srv.Registry().AddSubstrate("bench", server.LoadPairRequest{E1: "mem:e1", E2: "mem:e2"}, sub); err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + addr.String()
+	reqs := make([]server.QueryRequest, d.K1.Len())
+	for i := range reqs {
+		reqs[i] = server.QueryRequest{URI: d.K1.Entity(kb.EntityID(i)).URI}
+	}
+	runs := make([]LoadRun, 0, len(clients))
+	for _, c := range clients {
+		res, err := server.LoadTest(context.Background(), base, "bench", reqs,
+			server.LoadOptions{Clients: c, Queries: benchLoadQueryCount})
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, LoadRun{
+			Clients: res.Clients,
+			Queries: res.Queries,
+			QPS:     res.QPS,
+			P50US:   res.P50US,
+			P95US:   res.P95US,
+			P99US:   res.P99US,
+		})
+	}
+	return runs, nil
 }
 
 // percentileUS reads the p-th percentile (nearest-rank) of sorted latencies
@@ -469,6 +546,10 @@ func FormatBench(r *BenchReport) string {
 			fmt.Fprintf(&sb, "  %-16s p50=%.0fµs p95=%.0fµs p99=%.0fµs (substrate %.1fms + prewarm %.1fms)\n",
 				fmt.Sprintf("query×%d", qr.Queries), qr.P50US, qr.P95US, qr.P99US,
 				qr.SubstrateMS, qr.PrewarmMS)
+		}
+		for _, lr := range x.LoadRuns {
+			fmt.Fprintf(&sb, "  %-16s qps=%.0f p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d queries over HTTP)\n",
+				fmt.Sprintf("serve c=%d", lr.Clients), lr.QPS, lr.P50US, lr.P95US, lr.P99US, lr.Queries)
 		}
 	}
 	return sb.String()

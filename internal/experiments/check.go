@@ -24,6 +24,12 @@ const (
 	queryP99CapUS = 5000.0
 )
 
+// loadFloorUS is the noise floor for the server-path latency percentiles:
+// under concurrent clients on a shared CI box, sub-2ms tails are scheduler
+// and transport noise, so a load-run p99 fails only past
+// max(baseline, loadFloorUS) × tolerance.
+const loadFloorUS = 2000.0
+
 // ReadBenchJSON loads a benchmark report written by BenchReport.WriteJSON —
 // the committed baseline the CI regression gate compares against.
 func ReadBenchJSON(path string) (*BenchReport, error) {
@@ -165,6 +171,22 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 					}
 				}
 			}
+			// Server-path load runs: the p99 tail is gated per concurrency
+			// level against its own baseline entry, floored like every other
+			// latency. Throughput is recorded but not gated — qps on a shared
+			// runner measures the machine, the tail measures the code.
+			for _, bl := range b.LoadRuns {
+				cl := findLoadRun(c, bl.Clients)
+				if cl == nil {
+					failf("%s: load run clients=%d present in baseline but not in current run",
+						b.Dataset, bl.Clients)
+					continue
+				}
+				if eb := max(bl.P99US, loadFloorUS); cl.P99US > eb*maxRatio {
+					failf("%s: serve clients=%d p99 %.0fµs exceeds %.0fµs baseline (floored to %.0fµs) ×%.1f tolerance",
+						b.Dataset, bl.Clients, cl.P99US, bl.P99US, eb, maxRatio)
+				}
+			}
 		}
 	}
 	if len(fails) == 0 {
@@ -195,6 +217,15 @@ func findWorkerRun(r *BenchResult, workers int) *WorkerRun {
 	for i := range r.WorkerRuns {
 		if r.WorkerRuns[i].Workers == workers {
 			return &r.WorkerRuns[i]
+		}
+	}
+	return nil
+}
+
+func findLoadRun(r *BenchResult, clients int) *LoadRun {
+	for i := range r.LoadRuns {
+		if r.LoadRuns[i].Clients == clients {
+			return &r.LoadRuns[i]
 		}
 	}
 	return nil

@@ -17,6 +17,10 @@ func baseReport() *BenchReport {
 			ShardRuns:  []ShardRun{{Shards: 8, TotalMS: 110, Matches: 50}},
 			WorkerRuns: []WorkerRun{{Workers: 4, TotalMS: 40, Matches: 50}},
 			QueryRuns:  []QueryRun{{Queries: 1000, SubstrateMS: 90, P50US: 100, P95US: 300, P99US: 800}},
+			LoadRuns: []LoadRun{
+				{Clients: 4, Queries: 2000, QPS: 9000, P50US: 300, P95US: 900, P99US: 1500},
+				{Clients: 16, Queries: 2000, QPS: 12000, P50US: 800, P95US: 2400, P99US: 4000},
+			},
 		}},
 	}
 }
@@ -157,6 +161,49 @@ func TestCheckBenchGatesQueryRuns(t *testing.T) {
 	}
 }
 
+// The server-path load runs gate their p99 per concurrency level, with the
+// same floored-baseline discipline; qps and the lower percentiles are
+// recorded but never gated.
+func TestCheckBenchGatesLoadRuns(t *testing.T) {
+	base := baseReport()
+	cur := baseReport()
+	// clients=4 p99 baseline (1500µs) sits below the 2000µs floor: anything
+	// under 2×2000 is jitter and passes…
+	cur.Results[0].LoadRuns[0].P99US = 3900
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("sub-floor load-run jitter failed the gate: %v", err)
+	}
+	// …past the floored threshold it fails, naming the concurrency level.
+	cur = baseReport()
+	cur.Results[0].LoadRuns[0].P99US = 4100 // > 2 × max(1500, 2000)
+	err := CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "serve clients=4 p99") {
+		t.Errorf("load-run p99 regression not caught: %v", err)
+	}
+	// clients=16 gates against its own (above-floor) baseline entry.
+	cur = baseReport()
+	cur.Results[0].LoadRuns[1].P99US = 8100 // > 2 × 4000
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "serve clients=16 p99") {
+		t.Errorf("clients=16 p99 regression not caught: %v", err)
+	}
+	// Throughput and the lower percentiles are informational: a qps drop or
+	// p50 wobble alone never fails the gate.
+	cur = baseReport()
+	cur.Results[0].LoadRuns[0].QPS = 10
+	cur.Results[0].LoadRuns[0].P50US = 1900
+	if err := CheckBench(cur, base, 2.0); err != nil {
+		t.Errorf("ungated load-run fields failed the gate: %v", err)
+	}
+	// A baseline concurrency level must not silently vanish.
+	cur = baseReport()
+	cur.Results[0].LoadRuns = cur.Results[0].LoadRuns[:1]
+	err = CheckBench(cur, base, 2.0)
+	if err == nil || !strings.Contains(err.Error(), "load run clients=16 present in baseline") {
+		t.Errorf("missing load run not caught: %v", err)
+	}
+}
+
 func TestCheckBenchFailsOnF1Drop(t *testing.T) {
 	base := baseReport()
 	cur := baseReport()
@@ -244,6 +291,15 @@ func TestBenchWithShardSweep(t *testing.T) {
 	}
 	if qr := r.QueryRuns[0]; qr.Queries < 1000 || qr.P99US <= 0 || qr.P50US > qr.P99US {
 		t.Errorf("implausible query run: %+v", qr)
+	}
+	if len(r.LoadRuns) != len(benchLoadClients) {
+		t.Fatalf("load runs = %+v, want one per concurrency level %v", r.LoadRuns, benchLoadClients)
+	}
+	for i, lr := range r.LoadRuns {
+		if lr.Clients != benchLoadClients[i] || lr.Queries != benchLoadQueryCount ||
+			lr.QPS <= 0 || lr.P50US <= 0 || lr.P50US > lr.P99US {
+			t.Errorf("implausible load run: %+v", lr)
+		}
 	}
 	if err := CheckBench(report, report, 2.0); err != nil {
 		t.Errorf("report failed self-check: %v", err)

@@ -1,0 +1,179 @@
+// The qps-oriented load-test harness: N concurrent clients hammering
+// POST /v1/pairs/{id}/query over real HTTP, reporting throughput and latency
+// percentiles. This is the server-path counterpart of the single-threaded
+// query_runs percentiles in the bench JSON — same kernel, plus the transport
+// and concurrency the serving deployment actually pays for.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures one load-test run.
+type LoadOptions struct {
+	// Clients is the number of concurrent client goroutines (default 4).
+	Clients int
+	// Queries is the total number of requests across all clients
+	// (default 1000).
+	Queries int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadResult is one load-test data point.
+type LoadResult struct {
+	Clients   int     `json:"clients"`
+	Queries   int     `json:"queries"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	QPS       float64 `json:"qps"`
+	P50US     float64 `json:"p50_us"`
+	P95US     float64 `json:"p95_us"`
+	P99US     float64 `json:"p99_us"`
+}
+
+// String renders the result as one report line.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("clients=%d queries=%d errors=%d qps=%.0f p50=%.0fµs p95=%.0fµs p99=%.0fµs (%.1fms total)",
+		r.Clients, r.Queries, r.Errors, r.QPS, r.P50US, r.P95US, r.P99US, r.ElapsedMS)
+}
+
+// LoadTest fires opt.Queries query requests at baseURL's pair from
+// opt.Clients concurrent clients, cycling through reqs. Requests are
+// pre-marshaled outside the timed region, so a sample measures transport
+// plus kernel. Non-200 responses count as Errors (the first failure body is
+// reported in the returned error while the run still completes).
+func LoadTest(ctx context.Context, baseURL, pairID string, reqs []QueryRequest, opt LoadOptions) (LoadResult, error) {
+	if len(reqs) == 0 {
+		return LoadResult{}, fmt.Errorf("server: load test needs at least one query")
+	}
+	if opt.Clients <= 0 {
+		opt.Clients = 4
+	}
+	if opt.Queries <= 0 {
+		opt.Queries = 1000
+	}
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	bodies := make([][]byte, len(reqs))
+	for i := range reqs {
+		b, err := json.Marshal(&reqs[i])
+		if err != nil {
+			return LoadResult{}, err
+		}
+		bodies[i] = b
+	}
+	url := fmt.Sprintf("%s/v1/pairs/%s/query", baseURL, pairID)
+	client := &http.Client{
+		Timeout: opt.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Clients * 2,
+			MaxIdleConnsPerHost: opt.Clients * 2,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	var (
+		next     atomic.Int64 // global request counter: exactly Queries total
+		errCount atomic.Int64
+		firstErr atomic.Pointer[string]
+		wg       sync.WaitGroup
+	)
+	perClient := make([][]time.Duration, opt.Clients)
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, opt.Queries/opt.Clients+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Queries || ctx.Err() != nil {
+					break
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				err := postQuery(ctx, client, url, body)
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+					msg := err.Error()
+					firstErr.CompareAndSwap(nil, &msg)
+				}
+			}
+			perClient[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range perClient {
+		all = append(all, lat...)
+	}
+	slices.Sort(all)
+	res := LoadResult{
+		Clients:   opt.Clients,
+		Queries:   len(all),
+		Errors:    int(errCount.Load()),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		P50US:     latPercentileUS(all, 0.50),
+		P95US:     latPercentileUS(all, 0.95),
+		P99US:     latPercentileUS(all, 0.99),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if msg := firstErr.Load(); msg != nil {
+		return res, fmt.Errorf("server: load test saw %d failed requests (first: %s)", res.Errors, *msg)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// postQuery issues one query request and drains the response; any non-200
+// status is an error carrying the envelope body.
+func postQuery(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+// latPercentileUS reads the p-th percentile (nearest-rank) of sorted
+// latencies in microseconds — the same rule the bench query percentiles use.
+func latPercentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	idx = max(0, min(idx, len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1000
+}

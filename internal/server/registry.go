@@ -1,0 +1,344 @@
+// The substrate registry: the server-side home of the "build once, share
+// across requests" discipline. Each entry owns one immutable core.Substrate
+// built by a single goroutine; concurrent loads of the same pair coalesce
+// onto that one build (the in-library singleflight of
+// Substrate.PrewarmQueries lifted to the service layer), every request after
+// that shares the frozen substrate, and nothing is ever rebuilt per request.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minoaner/internal/core"
+	"minoaner/internal/kb"
+)
+
+// Pair is one registry entry: the spec it was loaded from, its build state
+// and — once ready — the shared substrate. All mutable fields are guarded by
+// the owning Registry's mutex; the substrate itself is immutable.
+type Pair struct {
+	id   string
+	spec LoadPairRequest
+	cfg  core.Config
+
+	status string
+	sub    *core.Substrate
+	err    error
+
+	loadWall    time.Duration
+	prewarmWall time.Duration
+
+	// cancel aborts the in-flight build; done closes when the build goroutine
+	// finishes (success or failure), so waiters and shutdown can join it.
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	queries atomic.Int64
+}
+
+// ID returns the pair's registry identifier.
+func (p *Pair) ID() string { return p.id }
+
+// Done returns a channel closed once the pair's build has finished.
+func (p *Pair) Done() <-chan struct{} { return p.done }
+
+// Registry holds the loaded pairs. It is safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	pairs map[string]*Pair
+
+	// baseCtx parents every build so shutdown can abort them all; wg joins
+	// the build goroutines.
+	baseCtx context.Context
+	abort   context.CancelFunc
+	wg      sync.WaitGroup
+
+	// builds counts build goroutines ever started — the singleflight tests'
+	// observable: N concurrent loads of one pair must leave it at 1.
+	builds atomic.Int64
+
+	// buildPair is swappable by tests to control build duration and failure;
+	// the default loads the KBs from the spec's paths and builds the
+	// substrate.
+	buildPair func(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error)
+}
+
+// NewRegistry returns an empty registry whose builds abort when the registry
+// is closed.
+func NewRegistry() *Registry {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		pairs:   make(map[string]*Pair),
+		baseCtx: ctx,
+		abort:   cancel,
+	}
+	r.buildPair = r.defaultBuild
+	return r
+}
+
+// Load registers the pair described by spec and starts its asynchronous
+// build, returning the entry and whether this call created it. A spec whose
+// ID (explicit or derived) is already registered returns the existing entry
+// — building, ready or failed — without starting a second build: concurrent
+// first-loads are serialized behind the one build goroutine, whose
+// completion every caller can await via Pair.Done.
+func (r *Registry) Load(spec LoadPairRequest) (*Pair, bool, error) {
+	if spec.E1 == "" || spec.E2 == "" {
+		return nil, false, fmt.Errorf("pair spec needs e1 and e2 paths")
+	}
+	switch spec.Format {
+	case "":
+		spec.Format = "nt"
+	case "nt", "tsv":
+	default:
+		return nil, false, fmt.Errorf("unknown format %q (want nt or tsv)", spec.Format)
+	}
+	id := spec.ID
+	if id == "" {
+		id = deriveID(spec)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.pairs[id]; ok {
+		return p, false, nil
+	}
+	ctx, cancel := context.WithCancel(r.baseCtx)
+	p := &Pair{
+		id:     id,
+		spec:   spec,
+		cfg:    spec.Config.coreConfig(),
+		status: StatusBuilding,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	r.pairs[id] = p
+	r.builds.Add(1)
+	r.wg.Add(1)
+	go r.runBuild(ctx, p)
+	return p, true, nil
+}
+
+// AddSubstrate registers an already-built substrate under id — the path the
+// bench harness and tests use to serve an in-memory dataset without files.
+func (r *Registry) AddSubstrate(id string, spec LoadPairRequest, sub *core.Substrate) (*Pair, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pairs[id]; ok {
+		return nil, fmt.Errorf("pair %q already registered", id)
+	}
+	p := &Pair{
+		id:     id,
+		spec:   spec,
+		cfg:    sub.Config(),
+		status: StatusReady,
+		sub:    sub,
+		cancel: func() {},
+		done:   make(chan struct{}),
+	}
+	close(p.done)
+	r.pairs[id] = p
+	return p, nil
+}
+
+// runBuild is the single build goroutine of one pair.
+func (r *Registry) runBuild(ctx context.Context, p *Pair) {
+	defer r.wg.Done()
+	defer p.cancel() // release the ctx once the build settles
+	sub, loadWall, err := r.buildPair(ctx, p)
+	var prewarmWall time.Duration
+	if err == nil && (p.spec.Prewarm == nil || *p.spec.Prewarm) {
+		t0 := time.Now()
+		err = sub.PrewarmQueries(ctx)
+		prewarmWall = time.Since(t0)
+	}
+	r.mu.Lock()
+	if err != nil {
+		p.status = StatusFailed
+		p.err = err
+	} else {
+		p.status = StatusReady
+		p.sub = sub
+		p.loadWall = loadWall
+		p.prewarmWall = prewarmWall
+	}
+	r.mu.Unlock()
+	close(p.done)
+}
+
+// defaultBuild loads the two KBs from the spec's paths and builds the shared
+// substrate under the build context.
+func (r *Registry) defaultBuild(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+	t0 := time.Now()
+	k1, err := loadKBFile("E1", p.spec.E1, p.spec.Format, p.spec.Stream)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	k2, err := loadKBFile("E2", p.spec.E2, p.spec.Format, p.spec.Stream)
+	if err != nil {
+		return nil, 0, err
+	}
+	loadWall := time.Since(t0)
+	sub, err := core.BuildSubstrate(ctx, k1, k2, p.cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub, loadWall, nil
+}
+
+// loadKBFile parses one KB dump in the requested format.
+func loadKBFile(name, path, format string, stream bool) (*kb.KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	load := func(r io.Reader) (*kb.KB, int, error) {
+		switch {
+		case format == "nt" && stream:
+			return kb.StreamNTriples(name, r, true)
+		case format == "nt":
+			return kb.LoadNTriples(name, r, true)
+		case stream:
+			return kb.StreamTSV(name, r, true)
+		default:
+			return kb.LoadTSV(name, r, true)
+		}
+	}
+	k, _, err := load(f)
+	return k, err
+}
+
+// Get returns the pair registered under id.
+func (r *Registry) Get(id string) (*Pair, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pairs[id]
+	return p, ok
+}
+
+// Delete unregisters a pair, aborting its build if still in flight. The
+// substrate itself is released to the garbage collector once in-flight
+// queries holding it return.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	p, ok := r.pairs[id]
+	if ok {
+		delete(r.pairs, id)
+	}
+	r.mu.Unlock()
+	if ok {
+		p.cancel()
+	}
+	return ok
+}
+
+// List returns every pair's PairInfo, sorted by ID for stable output.
+func (r *Registry) List() []PairInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PairInfo, 0, len(r.pairs))
+	for _, p := range r.pairs {
+		out = append(out, r.infoLocked(p))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Info returns one pair's PairInfo snapshot.
+func (r *Registry) Info(p *Pair) PairInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.infoLocked(p)
+}
+
+func (r *Registry) infoLocked(p *Pair) PairInfo {
+	info := PairInfo{
+		ID:      p.id,
+		Status:  p.status,
+		E1:      p.spec.E1,
+		E2:      p.spec.E2,
+		Format:  p.spec.Format,
+		Queries: p.queries.Load(),
+	}
+	switch p.status {
+	case StatusReady:
+		info.E1Size = p.sub.K1().Len()
+		info.E2Size = p.sub.K2().Len()
+		info.LoadMS = msOf(p.loadWall)
+		info.BuildMS = msOf(p.sub.BuildDuration())
+		info.PrewarmMS = msOf(p.prewarmWall)
+		t := p.sub.Timings()
+		info.Timings = &PairTimings{
+			StatisticsMS: msOf(t.Statistics),
+			BlockingMS:   msOf(t.Blocking),
+		}
+	case StatusFailed:
+		info.Error = p.err.Error()
+	}
+	return info
+}
+
+// Len reports the number of registered pairs.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pairs)
+}
+
+// Builds reports how many build goroutines were ever started — the
+// singleflight invariant's observable.
+func (r *Registry) Builds() int64 { return r.builds.Load() }
+
+// Substrate returns a ready pair's shared substrate, or a *apiError
+// describing why it is unavailable.
+func (r *Registry) Substrate(id string) (*Pair, *core.Substrate, *apiError) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.pairs[id]
+	if !ok {
+		return nil, nil, errPairNotFound(id)
+	}
+	switch p.status {
+	case StatusBuilding:
+		return nil, nil, &apiError{status: 409, code: CodePairNotReady,
+			msg: fmt.Sprintf("pair %q is still building; poll GET /v1/pairs/%s", id, id)}
+	case StatusFailed:
+		return nil, nil, &apiError{status: 500, code: CodePairFailed,
+			msg: fmt.Sprintf("pair %q failed to build: %v", id, p.err)}
+	}
+	return p, p.sub, nil
+}
+
+// Close aborts every in-flight build and waits for the build goroutines to
+// exit. Ready substrates stay readable (shutdown drains queries separately).
+func (r *Registry) Close() {
+	r.abort()
+	r.wg.Wait()
+}
+
+// deriveID hashes the load spec into a deterministic pair ID, so identical
+// concurrent loads without an explicit ID coalesce onto one entry.
+func deriveID(spec LoadPairRequest) string {
+	h := sha256.New()
+	prewarm := spec.Prewarm == nil || *spec.Prewarm
+	fmt.Fprintf(h, "%s|%s|%s|%t|%t", spec.E1, spec.E2, spec.Format, spec.Stream, prewarm)
+	if c := spec.Config; c != nil {
+		fmt.Fprintf(h, "|%d|%d|%d|%g|%g|%d", c.NameK, c.TopK, c.RelN, c.Theta, c.MaxBlockFraction, c.Workers)
+	}
+	return "p-" + hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// msOf converts a duration to the wire's millisecond unit.
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

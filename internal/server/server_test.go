@@ -1,0 +1,543 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minoaner/internal/core"
+	"minoaner/internal/testkb"
+)
+
+// figure1Substrate builds the paper's Figure 1 pair into a query-ready
+// substrate — small enough that every test can afford a fresh one.
+func figure1Substrate(t *testing.T) *core.Substrate {
+	t.Helper()
+	k1, k2 := testkb.Figure1()
+	sub, err := core.BuildSubstrate(context.Background(), k1, k2, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.PrewarmQueries(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func quietOptions() Options {
+	return Options{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
+// newTestServer wires a Server's handler under httptest and registers the
+// Figure 1 substrate as pair "fig1".
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(quietOptions())
+	if _, err := s.reg.AddSubstrate("fig1", LoadPairRequest{E1: "mem:wd", E2: "mem:dbp", Format: "nt"}, figure1Substrate(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doJSON posts body to url and decodes the response into out, returning the
+// status code.
+func doJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && len(bytes.TrimSpace(data)) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// errCode extracts the stable code of an error envelope response.
+func errCode(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var env ErrorEnvelope
+	status := doJSON(t, method, url, body, &env)
+	return status, env.Error.Code
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s, ts := newTestServer(t)
+	var h HealthResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/healthz", "", &h); status != 200 || h.Status != "ok" || h.Pairs != 1 {
+		t.Errorf("healthz = %d %+v", status, h)
+	}
+	// Readiness is owned by the lifecycle (Start/Shutdown); before Start the
+	// handler reports draining with the stable code.
+	if status, code := errCode(t, http.MethodGet, ts.URL+"/readyz", ""); status != 503 || code != CodeShuttingDown {
+		t.Errorf("readyz before Start = %d %q, want 503 %q", status, code, CodeShuttingDown)
+	}
+	s.ready.Store(true)
+	var r HealthResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/readyz", "", &r); status != 200 || r.Status != "ready" {
+		t.Errorf("readyz = %d %+v", status, r)
+	}
+}
+
+func TestUnknownPairPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+	}{
+		{http.MethodPost, "/v1/pairs/nope/query", `{"uri":"w:Restaurant1"}`},
+		{http.MethodPost, "/v1/pairs/nope/resolve", `{}`},
+		{http.MethodGet, "/v1/pairs/nope", ""},
+		{http.MethodGet, "/v1/pairs/nope/entities", ""},
+		{http.MethodDelete, "/v1/pairs/nope", ""},
+	} {
+		if status, code := errCode(t, tc.method, ts.URL+tc.path, tc.body); status != 404 || code != CodePairNotFound {
+			t.Errorf("%s %s = %d %q, want 404 %q", tc.method, tc.path, status, code, CodePairNotFound)
+		}
+	}
+}
+
+func TestMalformedAndOversizedBodies(t *testing.T) {
+	opts := quietOptions()
+	opts.MaxBodyBytes = 128
+	s := New(opts)
+	if _, err := s.reg.AddSubstrate("fig1", LoadPairRequest{E1: "mem:wd", E2: "mem:dbp"}, figure1Substrate(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"truncated":     `{"uri":`,
+		"wrong type":    `{"uri":42}`,
+		"unknown field": `{"entity":"w:Restaurant1"}`,
+	} {
+		if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", body); status != 400 || code != CodeInvalidRequest {
+			t.Errorf("%s body = %d %q, want 400 %q", name, status, code, CodeInvalidRequest)
+		}
+	}
+	// A replay URI that is not an E1 member and carries no statements cannot
+	// be resolved into an entity description.
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", `{"uri":"w:NoSuch"}`); status != 400 || code != CodeInvalidRequest {
+		t.Errorf("unknown replay uri = %d %q, want 400 %q", status, code, CodeInvalidRequest)
+	}
+	huge := fmt.Sprintf(`{"uri":%q}`, strings.Repeat("x", 256))
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", huge); status != 413 || code != CodeBodyTooLarge {
+		t.Errorf("oversized body = %d %q, want 413 %q", status, code, CodeBodyTooLarge)
+	}
+	// The pair-load path shares the decoder, so its validation errors also
+	// arrive as invalid_request.
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs", `{"e1":"only-one-side.nt"}`); status != 400 || code != CodeInvalidRequest {
+		t.Errorf("load without e2 = %d %q, want 400 %q", status, code, CodeInvalidRequest)
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs", `{"e1":"a.nt","e2":"b.nt","format":"xml"}`); status != 400 || code != CodeInvalidRequest {
+		t.Errorf("bad format = %d %q, want 400 %q", status, code, CodeInvalidRequest)
+	}
+}
+
+func TestQueryReplayAndExplicit(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var replay QueryResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", `{"uri":"w:Restaurant1"}`, &replay); status != 200 {
+		t.Fatalf("replay query status = %d", status)
+	}
+	if replay.Pair != "fig1" || len(replay.Candidates) == 0 {
+		t.Fatalf("replay response = %+v", replay)
+	}
+	if replay.Candidates[0].URI != "d:Restaurant2" {
+		t.Errorf("replay top candidate = %+v, want d:Restaurant2", replay.Candidates[0])
+	}
+
+	// The explicit format describes a new entity; the same description should
+	// reach the same top candidate.
+	explicit := `{"uri":"ext:TheFatDuck","attrs":[{"attribute":"label","value":"The Fat Duck"},{"attribute":"stars","value":"3 Michelin"}],"objects":[{"predicate":"hasChef","object":"w:JohnLakeA"},{"predicate":"territorial","object":"w:Bray"}]}`
+	var fresh QueryResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", explicit, &fresh); status != 200 {
+		t.Fatalf("explicit query status = %d", status)
+	}
+	if len(fresh.Candidates) == 0 || fresh.Candidates[0].URI != "d:Restaurant2" {
+		t.Errorf("explicit top candidate = %+v, want d:Restaurant2", fresh.Candidates)
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", `{"self_uri":"w:NoSuch","attrs":[{"attribute":"label","value":"x"}]}`); status != 400 || code != CodeInvalidRequest {
+		t.Errorf("bad self_uri = %d %q, want 400 %q", status, code, CodeInvalidRequest)
+	}
+
+	// The query counter on the pair's info reflects the served queries.
+	var info PairInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/pairs/fig1", "", &info); status != 200 {
+		t.Fatalf("get pair status = %d", status)
+	}
+	if info.Status != StatusReady || info.Queries != 2 || info.E1Size == 0 {
+		t.Errorf("pair info = %+v, want ready with 2 queries", info)
+	}
+}
+
+func TestResolveEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var res ResolveResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/resolve", `{}`, &res); status != 200 {
+		t.Fatalf("resolve status = %d", status)
+	}
+	if res.MatchCount == 0 || len(res.Matches) != res.MatchCount {
+		t.Fatalf("resolve response = %+v", res)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.URI1 == "w:Restaurant1" && m.URI2 == "d:Restaurant2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("resolve missed the Figure 1 restaurant match: %+v", res.Matches)
+	}
+}
+
+func TestEntitiesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var all EntitiesResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/pairs/fig1/entities?limit=0", "", &all); status != 200 {
+		t.Fatalf("entities status = %d", status)
+	}
+	if all.Count != 4 || len(all.URIs) != 4 {
+		t.Errorf("entities = %+v, want all 4 E1 URIs", all)
+	}
+	var two EntitiesResponse
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/pairs/fig1/entities?limit=2", "", &two); status != 200 || len(two.URIs) != 2 || two.Count != 4 {
+		t.Errorf("entities limit=2 = %d %+v", status, two)
+	}
+	if status, code := errCode(t, http.MethodGet, ts.URL+"/v1/pairs/fig1/entities?limit=-3", ""); status != 400 || code != CodeInvalidRequest {
+		t.Errorf("negative limit = %d %q", status, code)
+	}
+}
+
+// TestConcurrentFirstLoadSingleflight loads the same spec from many clients
+// at once and asserts exactly one build goroutine ever ran — the registry's
+// singleflight invariant, observed through Registry.Builds.
+func TestConcurrentFirstLoadSingleflight(t *testing.T) {
+	s := New(quietOptions())
+	sub := figure1Substrate(t)
+	release := make(chan struct{})
+	s.reg.buildPair = func(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+		return sub, 0, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	spec := `{"e1":"shared.nt","e2":"other.nt"}`
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ids      = make(map[string]int)
+		accepted int
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var info PairInfo
+			status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs", spec, &info)
+			mu.Lock()
+			defer mu.Unlock()
+			ids[info.ID]++
+			if status == http.StatusAccepted {
+				accepted++
+			} else if status != http.StatusOK {
+				t.Errorf("load status = %d", status)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(ids) != 1 {
+		t.Fatalf("concurrent loads derived %d distinct IDs: %v", len(ids), ids)
+	}
+	if accepted != 1 {
+		t.Errorf("%d loads reported 202 Accepted, want exactly 1 (the creator)", accepted)
+	}
+	if got := s.reg.Builds(); got != 1 {
+		t.Fatalf("Builds() = %d after %d concurrent loads of one spec, want 1", got, clients)
+	}
+
+	var id string
+	for k := range ids {
+		id = k
+	}
+	p, ok := s.reg.Get(id)
+	if !ok {
+		t.Fatal("pair vanished")
+	}
+	close(release)
+	<-p.Done()
+	var info PairInfo
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/pairs/"+id, "", &info); status != 200 || info.Status != StatusReady {
+		t.Fatalf("after build: %d %+v", status, info)
+	}
+	// Queries hit the one shared substrate with no rebuild.
+	var q QueryResponse
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs/"+id+"/query", `{"uri":"w:Restaurant1"}`, &q); status != 200 || len(q.Candidates) == 0 {
+		t.Fatalf("query after singleflight build = %d %+v", status, q)
+	}
+	if got := s.reg.Builds(); got != 1 {
+		t.Errorf("Builds() = %d after queries, want still 1 — a query must never rebuild", got)
+	}
+
+	// A different spec is a different pair: it gets its own build.
+	var other PairInfo
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs", `{"e1":"third.nt","e2":"fourth.nt"}`, &other); status != http.StatusAccepted {
+		t.Fatalf("second spec load = %d", status)
+	}
+	if other.ID == id {
+		t.Error("distinct specs derived the same ID")
+	}
+	if got := s.reg.Builds(); got != 2 {
+		t.Errorf("Builds() = %d after a second spec, want 2", got)
+	}
+}
+
+func TestBuildFailureAndDelete(t *testing.T) {
+	s := New(quietOptions())
+	s.reg.buildPair = func(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+		return nil, 0, errors.New("synthetic parse failure")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var info PairInfo
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs", `{"id":"bad","e1":"a.nt","e2":"b.nt"}`, &info); status != http.StatusAccepted {
+		t.Fatalf("load status = %d", status)
+	}
+	p, _ := s.reg.Get("bad")
+	<-p.Done()
+	if status := doJSON(t, http.MethodGet, ts.URL+"/v1/pairs/bad", "", &info); status != 200 || info.Status != StatusFailed || info.Error == "" {
+		t.Fatalf("failed pair info = %d %+v", status, info)
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/bad/query", `{"uri":"x"}`); status != 500 || code != CodePairFailed {
+		t.Errorf("query on failed pair = %d %q, want 500 %q", status, code, CodePairFailed)
+	}
+	if status := doJSON(t, http.MethodDelete, ts.URL+"/v1/pairs/bad", "", nil); status != http.StatusNoContent {
+		t.Errorf("delete = %d", status)
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/bad/query", `{"uri":"x"}`); status != 404 || code != CodePairNotFound {
+		t.Errorf("query after delete = %d %q", status, code)
+	}
+}
+
+// TestQueryOnBuildingPair asserts the not-ready error while a build is in
+// flight, and that deleting the pair aborts the build's context.
+func TestQueryOnBuildingPair(t *testing.T) {
+	s := New(quietOptions())
+	aborted := make(chan error, 1)
+	s.reg.buildPair = func(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+		<-ctx.Done() // park until delete/shutdown aborts us
+		aborted <- ctx.Err()
+		return nil, 0, ctx.Err()
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var info PairInfo
+	if status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs", `{"id":"slow","e1":"a.nt","e2":"b.nt"}`, &info); status != http.StatusAccepted || info.Status != StatusBuilding {
+		t.Fatalf("load = %d %+v", status, info)
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/pairs/slow/query", `{"uri":"x"}`); status != 409 || code != CodePairNotReady {
+		t.Errorf("query while building = %d %q, want 409 %q", status, code, CodePairNotReady)
+	}
+	if status := doJSON(t, http.MethodDelete, ts.URL+"/v1/pairs/slow", "", nil); status != http.StatusNoContent {
+		t.Fatalf("delete while building = %d", status)
+	}
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("build abort err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delete did not abort the in-flight build")
+	}
+}
+
+// TestQueryDeadlineMidQuery parks an in-flight query past its deadline and
+// asserts the context abort surfaces as 504 deadline_exceeded — and that the
+// shared substrate stays fully usable afterwards (the failure poisons
+// nothing).
+func TestQueryDeadlineMidQuery(t *testing.T) {
+	s := New(quietOptions())
+	sub := figure1Substrate(t)
+	if _, err := s.reg.AddSubstrate("fig1", LoadPairRequest{E1: "mem:wd", E2: "mem:dbp"}, sub); err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	s.holdQuery = hold
+	s.queryEntered = entered
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		code   string
+	}
+	got := make(chan result, 1)
+	go func() {
+		var env ErrorEnvelope
+		status := doJSON(t, http.MethodPost, ts.URL+"/v1/pairs/fig1/query", `{"uri":"w:Restaurant1","timeout_ms":20}`, &env)
+		got <- result{status, env.Error.Code}
+	}()
+	<-entered // the request holds its (already ticking) 20ms deadline
+	time.Sleep(50 * time.Millisecond)
+	close(hold) // release: QueryEntity now observes the expired context
+	r := <-got
+	if r.status != http.StatusGatewayTimeout || r.code != CodeDeadlineExceeded {
+		t.Fatalf("expired query = %d %q, want 504 %q", r.status, r.code, CodeDeadlineExceeded)
+	}
+
+	// The same substrate, addressed through a second server sharing the
+	// registry (no hold hook), answers normally: the aborted request left no
+	// damaged state behind.
+	s2 := New(quietOptions())
+	s2.reg = s.reg
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var q QueryResponse
+	if status := doJSON(t, http.MethodPost, ts2.URL+"/v1/pairs/fig1/query", `{"uri":"w:Restaurant1"}`, &q); status != 200 || len(q.Candidates) == 0 {
+		t.Fatalf("query after deadline abort = %d %+v, want candidates", status, q)
+	}
+}
+
+// TestGracefulShutdownDrain starts a real listener, parks a query in flight,
+// and asserts Shutdown (a) aborts the in-flight build immediately, (b) waits
+// for the parked query, and (c) completes cleanly once the query finishes.
+func TestGracefulShutdownDrain(t *testing.T) {
+	s := New(quietOptions())
+	if _, err := s.reg.AddSubstrate("fig1", LoadPairRequest{E1: "mem:wd", E2: "mem:dbp"}, figure1Substrate(t)); err != nil {
+		t.Fatal(err)
+	}
+	buildAborted := make(chan struct{})
+	s.reg.buildPair = func(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+		<-ctx.Done()
+		close(buildAborted)
+		return nil, 0, ctx.Err()
+	}
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	s.holdQuery = hold
+	s.queryEntered = entered
+
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	// One pair forever building: shutdown must abort it rather than drain it.
+	if status := doJSON(t, http.MethodPost, base+"/v1/pairs", `{"id":"slow","e1":"a.nt","e2":"b.nt"}`, nil); status != http.StatusAccepted {
+		t.Fatalf("load = %d", status)
+	}
+
+	type result struct {
+		status     int
+		candidates int
+	}
+	got := make(chan result, 1)
+	go func() {
+		var q QueryResponse
+		status := doJSON(t, http.MethodPost, base+"/v1/pairs/fig1/query", `{"uri":"w:Restaurant1"}`, &q)
+		got <- result{status, len(q.Candidates)}
+	}()
+	<-entered // the query is in flight inside the handler
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// The build must be aborted promptly, while the parked query keeps
+	// Shutdown from returning.
+	select {
+	case <-buildAborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not abort the in-flight build")
+	}
+	select {
+	case err := <-shutdownErr:
+		t.Fatalf("Shutdown returned %v while a query was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if s.ready.Load() {
+		t.Error("server still reports ready while draining")
+	}
+
+	close(hold) // release the parked query
+	r := <-got
+	if r.status != http.StatusOK || r.candidates == 0 {
+		t.Errorf("drained query = %+v, want a 200 with candidates", r)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown = %v, want clean drain", err)
+	}
+	p, _ := s.reg.Get("slow")
+	<-p.Done()
+	if info := s.reg.Info(p); info.Status != StatusFailed {
+		t.Errorf("aborted build status = %q, want %q", info.Status, StatusFailed)
+	}
+}
+
+// TestLoadTestHarness drives the load-test client against an in-process
+// server and sanity-checks its accounting.
+func TestLoadTestHarness(t *testing.T) {
+	_, ts := newTestServer(t)
+	reqs := []QueryRequest{{URI: "w:Restaurant1"}, {URI: "w:JohnLakeA"}}
+	res, err := LoadTest(context.Background(), ts.URL, "fig1", reqs, LoadOptions{Clients: 3, Queries: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 24 || res.Errors != 0 {
+		t.Fatalf("load test = %+v, want 24 clean queries", res)
+	}
+	if res.QPS <= 0 || res.P50US <= 0 || res.P99US < res.P50US {
+		t.Errorf("load test percentiles look wrong: %+v", res)
+	}
+	if s := res.String(); !strings.Contains(s, "qps=") || !strings.Contains(s, "p99=") {
+		t.Errorf("report line = %q", s)
+	}
+
+	// Failures are counted, the run completes, and the first body is carried
+	// in the error.
+	bad, err := LoadTest(context.Background(), ts.URL, "nope", reqs, LoadOptions{Clients: 2, Queries: 4})
+	if err == nil || bad.Errors != 4 {
+		t.Errorf("load test on missing pair = %+v, %v; want 4 errors", bad, err)
+	}
+	if err != nil && !strings.Contains(err.Error(), CodePairNotFound) {
+		t.Errorf("load test error %q does not carry the envelope", err)
+	}
+}

@@ -1,0 +1,194 @@
+// The service layer between the HTTP handlers and the library: request
+// semantics (replay vs explicit query format, matching-side overrides,
+// per-request deadlines) live here, handlers.go only translates HTTP. Every
+// method consumes the registry's shared substrates — nothing in this file
+// builds pair-level state.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"minoaner/internal/core"
+	"minoaner/internal/kb"
+)
+
+// apiError is an error with a wire mapping: an HTTP status plus a stable
+// envelope code.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errPairNotFound(id string) *apiError {
+	return &apiError{status: http.StatusNotFound, code: CodePairNotFound,
+		msg: fmt.Sprintf("no pair %q is loaded; POST /v1/pairs to load one", id)}
+}
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeInvalidRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// ctxError maps a context abort onto the wire: 504 for an expired deadline,
+// 499-style 503 for a client cancellation.
+func ctxError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded,
+			msg: "request deadline expired before the resolution finished"}
+	case errors.Is(err, context.Canceled):
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeCanceled,
+			msg: "request canceled before the resolution finished"}
+	}
+	return &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: err.Error()}
+}
+
+// requestCtx derives the per-request deadline: the client's timeout_ms when
+// given (capped at MaxTimeout), the server default otherwise. The returned
+// context is what the resolution kernels observe between parallel chunks —
+// an expired deadline aborts the work, not just the response write.
+func (s *Server) requestCtx(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.opts.MaxTimeout {
+			d = s.opts.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// entityQuery lowers a wire QueryRequest onto a core.EntityQuery, resolving
+// the replay format (bare E1 URI) against the pair's K1.
+func entityQuery(sub *core.Substrate, req *QueryRequest) (core.EntityQuery, *apiError) {
+	if len(req.Attrs) == 0 && len(req.Objects) == 0 && req.SelfURI == "" {
+		if req.URI == "" {
+			return core.EntityQuery{}, badRequest("query needs a uri to replay or attrs/objects to describe a new entity")
+		}
+		e := sub.K1().Lookup(req.URI)
+		if e == kb.NoEntity {
+			return core.EntityQuery{}, badRequest("uri %q is not an E1 entity and the query carries no statements", req.URI)
+		}
+		return core.QueryFromEntity(sub.K1(), e), nil
+	}
+	if req.SelfURI != "" && sub.K1().Lookup(req.SelfURI) == kb.NoEntity {
+		return core.EntityQuery{}, badRequest("self_uri %q is not an E1 entity", req.SelfURI)
+	}
+	q := core.EntityQuery{URI: req.URI, SelfURI: req.SelfURI}
+	for _, a := range req.Attrs {
+		q.Attrs = append(q.Attrs, kb.AttributeValue{Attribute: a.Attribute, Value: a.Value})
+	}
+	for _, o := range req.Objects {
+		q.Objects = append(q.Objects, core.QueryObject{Predicate: o.Predicate, Object: o.Object})
+	}
+	return q, nil
+}
+
+// query resolves one entity description against a loaded pair's shared
+// substrate under the request deadline.
+func (s *Server) query(ctx context.Context, id string, req *QueryRequest) (*QueryResponse, *apiError) {
+	p, sub, aerr := s.reg.Substrate(id)
+	if aerr != nil {
+		return nil, aerr
+	}
+	q, aerr := entityQuery(sub, req)
+	if aerr != nil {
+		return nil, aerr
+	}
+	qctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	if s.holdQuery != nil {
+		// Test hook: park the in-flight query so the shutdown-drain and
+		// deadline tests can observe it. Nil in production.
+		if s.queryEntered != nil {
+			s.queryEntered <- struct{}{}
+		}
+		<-s.holdQuery
+	}
+	t0 := time.Now()
+	ms, err := core.QueryEntity(qctx, sub, q, p.cfg)
+	if err != nil {
+		if qctx.Err() != nil {
+			return nil, ctxError(qctx.Err())
+		}
+		return nil, badRequest("%v", err)
+	}
+	p.queries.Add(1)
+	return &QueryResponse{
+		Pair:       id,
+		URI:        q.URI,
+		Candidates: Candidates(ms),
+		ElapsedUS:  float64(time.Since(t0).Microseconds()),
+	}, nil
+}
+
+// resolve runs a batch resolution over the pair's shared substrate, applying
+// only the matching-side overrides of the request.
+func (s *Server) resolve(ctx context.Context, id string, req *ResolveRequest) (*ResolveResponse, *apiError) {
+	p, sub, aerr := s.reg.Substrate(id)
+	if aerr != nil {
+		return nil, aerr
+	}
+	cfg := p.cfg
+	if req.Theta != 0 {
+		cfg.Theta = req.Theta
+	}
+	if req.TopK != 0 {
+		cfg.TopK = req.TopK
+	}
+	if req.Shards != 0 {
+		cfg.ShardCount = req.Shards
+	}
+	cfg.OmitTokenBlocks = true // a serving process never needs the Table-2 view
+	rctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	t0 := time.Now()
+	out, err := core.ResolveWith(rctx, sub, cfg)
+	if err != nil {
+		if rctx.Err() != nil {
+			return nil, ctxError(rctx.Err())
+		}
+		return nil, badRequest("%v", err)
+	}
+	resp := &ResolveResponse{
+		Pair:        id,
+		Matches:     make([]ResolveMatch, 0, len(out.Matches)),
+		MatchCount:  len(out.Matches),
+		GraphEdges:  out.GraphEdges,
+		RemovedByR4: out.RemovedByR4,
+		ElapsedMS:   float64(time.Since(t0).Microseconds()) / 1000,
+	}
+	k1, k2 := sub.K1(), sub.K2()
+	for _, m := range out.Matches {
+		resp.Matches = append(resp.Matches, ResolveMatch{
+			URI1: k1.Entity(m.Pair.E1).URI,
+			URI2: k2.Entity(m.Pair.E2).URI,
+			Rule: m.Rule.String(),
+		})
+	}
+	return resp, nil
+}
+
+// entities returns a prefix of the pair's E1 URIs — the replay corpus for
+// load tests and smoke checks.
+func (s *Server) entities(id string, limit int) (*EntitiesResponse, *apiError) {
+	_, sub, aerr := s.reg.Substrate(id)
+	if aerr != nil {
+		return nil, aerr
+	}
+	n := sub.K1().Len()
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	uris := make([]string, limit)
+	for i := range uris {
+		uris[i] = sub.K1().Entity(kb.EntityID(i)).URI
+	}
+	return &EntitiesResponse{Pair: id, Count: n, URIs: uris}, nil
+}

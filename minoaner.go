@@ -10,7 +10,7 @@
 //
 //	k1, _, _ := minoaner.LoadNTriples("dbpedia", f1, true)
 //	k2, _, _ := minoaner.LoadNTriples("wikidata", f2, true)
-//	out, err := minoaner.Resolve(k1, k2, minoaner.DefaultConfig())
+//	out, err := minoaner.Resolve(ctx, k1, k2, minoaner.DefaultConfig())
 //	for _, m := range out.Matches {
 //	    fmt.Println(k1.Entity(m.Pair.E1).URI, "=", k2.Entity(m.Pair.E2).URI, m.Rule)
 //	}
@@ -23,6 +23,17 @@
 // threshold-free rank aggregation of value and neighbor evidence (R3) and a
 // reciprocity filter (R4) — applied in one non-iterative pass (Algorithm 2).
 // Every stage is data-parallel over a configurable worker pool.
+//
+// The exported surface is grouped into four arcs:
+//
+//   - Build — constructing and loading knowledge bases;
+//   - Resolve — the batch pipeline over a KB pair;
+//   - Query — build-once substrates and per-entity queries;
+//   - Serve — the wire schema and server behind cmd/minoanerd.
+//
+// Every entry point that performs resolution work takes a context first:
+// cancellation and deadlines propagate into the data-parallel kernels, which
+// observe ctx between chunks and abort promptly.
 //
 // The library also ships the paper's full evaluation apparatus: synthetic
 // benchmark generators profiled after the paper's four dataset pairs,
@@ -41,7 +52,11 @@ import (
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
 	"minoaner/internal/matching"
+	"minoaner/internal/server"
 )
+
+// ---------------------------------------------------------------------------
+// Build: constructing and loading knowledge bases.
 
 // KB is an immutable knowledge base of entity descriptions.
 type KB = kb.KB
@@ -64,6 +79,10 @@ type Interner = kb.Interner
 
 // Description is one entity: a URI with attribute-value pairs and relations.
 type Description = kb.Description
+
+// AttributeValue is one literal attribute-value pair of a description —
+// the unit EntityQuery statements are expressed in.
+type AttributeValue = kb.AttributeValue
 
 // NewBuilder starts a KB with the given display name.
 func NewBuilder(name string) *Builder { return kb.NewBuilder(name) }
@@ -140,6 +159,9 @@ func StreamTSV(name string, r io.Reader, uriObjects bool) (*KB, int, error) {
 // WriteNTriples serializes a KB in N-Triples format.
 func WriteNTriples(w io.Writer, k *KB) error { return kb.WriteNTriples(w, k) }
 
+// ---------------------------------------------------------------------------
+// Resolve: the batch pipeline over a KB pair.
+
 // Config holds the MinoanER parameters: k (name attributes), K (candidates
 // per node), N (top relations), θ (rank-aggregation trade-off), the Block
 // Purging cap and the worker count.
@@ -170,15 +192,12 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // DefaultRules returns the paper's rule configuration (all rules enabled).
 func DefaultRules() RuleConfig { return matching.DefaultConfig() }
 
-// Resolve runs the full MinoanER pipeline on two clean KBs.
-func Resolve(k1, k2 *KB, cfg Config) (*Output, error) { return core.Resolve(k1, k2, cfg) }
-
-// ResolveContext is Resolve under a context: the pipeline observes ctx
-// between parallel chunks and stage barriers, returning ctx.Err() promptly
-// on cancellation or deadline expiry. When cfg requests sharded execution
-// (Config.ShardCount or Config.MaxShardBytes), the run is delegated to the
-// partitioned engine — see ResolveSharded.
-func ResolveContext(ctx context.Context, k1, k2 *KB, cfg Config) (*Output, error) {
+// Resolve runs the full MinoanER pipeline on two clean KBs. The pipeline
+// observes ctx between parallel chunks and stage barriers, returning
+// ctx.Err() promptly on cancellation or deadline expiry. When cfg requests
+// sharded execution (Config.ShardCount or Config.MaxShardBytes), the run is
+// delegated to the partitioned engine — see ResolveSharded.
+func Resolve(ctx context.Context, k1, k2 *KB, cfg Config) (*Output, error) {
 	return core.ResolveContext(ctx, k1, k2, cfg)
 }
 
@@ -192,9 +211,16 @@ func ResolveSharded(ctx context.Context, k1, k2 *KB, cfg Config, shards int) (*O
 	return core.ResolveSharded(ctx, k1, k2, cfg, shards)
 }
 
-// AttributeValue is one literal attribute-value pair of a description —
-// the unit EntityQuery statements are expressed in.
-type AttributeValue = kb.AttributeValue
+// ResolveContext is the original name of the context-aware pipeline entry
+// point, kept as a thin alias while callers migrate.
+//
+// Deprecated: ctx-first signatures are the canonical API; use Resolve.
+func ResolveContext(ctx context.Context, k1, k2 *KB, cfg Config) (*Output, error) {
+	return Resolve(ctx, k1, k2, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Query: build-once substrates and per-entity queries.
 
 // Substrate is the reusable, immutable pair-level state of a KB pair: name
 // attributes, relation ranks, top-neighbor rows, blocking collections and
@@ -223,7 +249,7 @@ func BuildSubstrate(ctx context.Context, k1, k2 *KB, cfg Config) (*Substrate, er
 
 // ResolveWith runs the per-entity stages (blocking graph and matching) over
 // a prebuilt Substrate. For any substrate built from (k1, k2, cfg), the
-// output is byte-identical to Resolve(k1, k2, cfg).
+// output is byte-identical to Resolve(ctx, k1, k2, cfg).
 func ResolveWith(ctx context.Context, sub *Substrate, cfg Config) (*Output, error) {
 	return core.ResolveWith(ctx, sub, cfg)
 }
@@ -240,6 +266,34 @@ func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config)
 // QueryFromEntity lifts an existing E1 entity into an EntityQuery that
 // replays it through the per-entity query path.
 func QueryFromEntity(k *KB, e EntityID) EntityQuery { return core.QueryFromEntity(k, e) }
+
+// ---------------------------------------------------------------------------
+// Serve: the wire schema and server behind cmd/minoanerd.
+
+// QueryCandidate is the shared wire form of one ranked QueryMatch — the
+// JSON schema emitted both by `cmd/minoaner -query -json` and inside the
+// /v1/pairs/{id}/query response of cmd/minoanerd, byte-compatible by
+// construction.
+type QueryCandidate = server.QueryCandidate
+
+// QueryCandidates lowers ranked QueryMatch rows onto the shared wire
+// schema; the result is never nil, so an empty ranking serializes as [].
+func QueryCandidates(ms []QueryMatch) []QueryCandidate { return server.Candidates(ms) }
+
+// Server is the resolution-as-a-service HTTP server: a registry of loaded
+// KB pairs whose substrates are built once and shared across requests,
+// behind the versioned /v1 query API (see cmd/minoanerd).
+type Server = server.Server
+
+// ServerOptions configures NewServer; the zero value serves on a random
+// localhost port with production defaults.
+type ServerOptions = server.Options
+
+// NewServer builds a resolution server with an empty pair registry.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// ---------------------------------------------------------------------------
+// Evaluate and benchmark: the paper's evaluation apparatus.
 
 // Pair is a cross-KB correspondence.
 type Pair = eval.Pair

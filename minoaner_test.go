@@ -30,7 +30,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	b2.AddObject(r2, "headChef", "r:heston")
 	k2 := b2.Build()
 
-	out, err := Resolve(k1, k2, DefaultConfig())
+	out, err := Resolve(context.Background(), k1, k2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestPublicAPIBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Resolve(d.K1, d.K2, DefaultConfig())
+	out, err := Resolve(context.Background(), d.K1, d.K2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestPublicAPIRuleAblation(t *testing.T) {
 	cfg := DefaultConfig()
 	rules := RuleConfig{Theta: 0.6, EnableR1: true, UseNeighbors: true}
 	cfg.Rules = &rules
-	out, err := Resolve(d.K1, d.K2, cfg)
+	out, err := Resolve(context.Background(), d.K1, d.K2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestPublicAPIResolveSharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Resolve(d.K1, d.K2, DefaultConfig())
+	ref, err := Resolve(context.Background(), d.K1, d.K2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,12 +137,12 @@ func TestPublicAPIResolveSharded(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.ShardCount = 3
-	routed, err := ResolveContext(context.Background(), d.K1, d.K2, cfg)
+	routed, err := Resolve(context.Background(), d.K1, d.K2, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(routed.Matches, ref.Matches) {
-		t.Error("ShardCount-routed ResolveContext matches differ from Resolve")
+		t.Error("ShardCount-routed Resolve matches differ from the monolithic run")
 	}
 }
 
@@ -167,22 +167,31 @@ func TestPublicAPIStreamLoaders(t *testing.T) {
 	}
 }
 
-func TestPublicAPIResolveContext(t *testing.T) {
+func TestPublicAPIResolveCancellation(t *testing.T) {
 	p := ScaleProfile(RestaurantProfile(), 0.3)
 	d, err := GenerateBenchmark(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ResolveContext(context.Background(), d.K1, d.K2, DefaultConfig())
+	out, err := Resolve(context.Background(), d.K1, d.K2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out.Matches) == 0 {
-		t.Error("ResolveContext found no matches")
+		t.Error("Resolve found no matches")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := ResolveContext(ctx, d.K1, d.K2, DefaultConfig()); !errors.Is(err, context.Canceled) {
-		t.Errorf("cancelled ResolveContext = %v, want context.Canceled", err)
+	if _, err := Resolve(ctx, d.K1, d.K2, DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Resolve = %v, want context.Canceled", err)
+	}
+	// The deprecated alias must stay a faithful thin wrapper while callers
+	// migrate to the ctx-first canonical name.
+	alias, err := ResolveContext(context.Background(), d.K1, d.K2, DefaultConfig()) //nolint:staticcheck // exercising the deprecated alias
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(alias.Matches, out.Matches) {
+		t.Error("deprecated ResolveContext alias diverged from Resolve")
 	}
 }

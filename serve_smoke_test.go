@@ -1,0 +1,267 @@
+package minoaner_test
+
+// The serve-smoke harness: an end-to-end exercise of the real minoanerd
+// binary over real HTTP — generate a dataset, build both binaries, serve,
+// load a pair, query it in both request formats, and byte-compare the
+// server's candidate rows against `cmd/minoaner -query -json`, proving the
+// two front-ends share one wire schema. Finally SIGTERM the server and
+// assert a clean drain.
+//
+// The test spawns the go toolchain and a server process, so it only runs
+// when MINOANER_SERVE_SMOKE=1 (the `make serve-smoke` entry point; CI sets
+// it in a dedicated step) — `go test ./...` stays fast and hermetic.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"minoaner"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("MINOANER_SERVE_SMOKE") == "" {
+		t.Skip("set MINOANER_SERVE_SMOKE=1 (or run `make serve-smoke`) to exercise the minoanerd binary")
+	}
+	tmp := t.TempDir()
+
+	// A small generated benchmark, serialized the way a deployment would
+	// hand datasets to the server.
+	d, err := minoaner.GenerateBenchmark(minoaner.ScaleProfile(minoaner.RestaurantProfile(), 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1Path := filepath.Join(tmp, "e1.nt")
+	e2Path := filepath.Join(tmp, "e2.nt")
+	writeKB(t, e1Path, d.K1)
+	writeKB(t, e2Path, d.K2)
+
+	serverBin := buildBinary(t, tmp, "minoanerd", "./cmd/minoanerd")
+	cliBin := buildBinary(t, tmp, "minoaner", "./cmd/minoaner")
+
+	// Start the server on an ephemeral port and discover it from the listen
+	// line on stdout.
+	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-quiet")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill() //nolint:errcheck // last-resort cleanup; the test SIGTERMs first
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("minoanerd printed no listen line: %v", sc.Err())
+	}
+	listen := sc.Text()
+	const prefix = "minoanerd: listening on "
+	if !strings.HasPrefix(listen, prefix) {
+		t.Fatalf("unexpected first stdout line %q", listen)
+	}
+	base := "http://" + strings.TrimPrefix(listen, prefix)
+	var tail bytes.Buffer
+	drained := make(chan struct{})
+	go func() { // keep reading stdout so the drain messages arrive
+		defer close(drained)
+		for sc.Scan() {
+			fmt.Fprintln(&tail, sc.Text())
+		}
+	}()
+
+	// Load the pair and poll the build status until ready.
+	loadBody := fmt.Sprintf(`{"id":"smoke","e1":%q,"e2":%q}`, e1Path, e2Path)
+	resp := httpJSON(t, http.MethodPost, base+"/v1/pairs", loadBody)
+	if resp.status != http.StatusAccepted {
+		t.Fatalf("load pair = %d: %s", resp.status, resp.body)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var info struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		r := httpJSON(t, http.MethodGet, base+"/v1/pairs/smoke", "")
+		if err := json.Unmarshal(r.body, &info); err != nil {
+			t.Fatalf("pair info %s: %v", r.body, err)
+		}
+		if info.Status == "ready" {
+			break
+		}
+		if info.Status == "failed" {
+			t.Fatalf("pair build failed: %s", info.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pair still %q after 60s", info.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Format 1 — replay: an E1 URI with a known true match (a non-GT entity
+	// can legitimately rank zero candidates), server vs CLI.
+	gtPairs := d.GT.Pairs()
+	if len(gtPairs) == 0 {
+		t.Fatal("generated benchmark has no ground-truth pairs")
+	}
+	probeID := gtPairs[0].E1
+	replayURI := d.K1.Entity(probeID).URI
+	serverReplay := queryCandidates(t, base, fmt.Sprintf(`{"uri":%q}`, replayURI))
+	cliReplay := runCLI(t, cliBin, e1Path, e2Path, replayURI, "")
+	if !bytes.Equal(serverReplay, cliReplay) {
+		t.Errorf("replay candidates differ between server and CLI:\n--- server ---\n%s\n--- cli ---\n%s", serverReplay, cliReplay)
+	}
+	if !bytes.Contains(serverReplay, []byte(`"uri"`)) {
+		t.Errorf("replay query returned no candidates: %s", serverReplay)
+	}
+
+	// Format 2 — a new entity described by explicit statements. The CLI
+	// takes them as predicate<TAB>object lines on stdin, the server as an
+	// objects array; both demote non-E1 objects to literal values, so the
+	// same statements must produce byte-identical candidate rows.
+	probe := minoaner.QueryFromEntity(d.K1, probeID)
+	var stdin strings.Builder
+	type obj struct {
+		Predicate string `json:"predicate"`
+		Object    string `json:"object"`
+	}
+	var objs []obj
+	for _, a := range probe.Attrs {
+		fmt.Fprintf(&stdin, "%s\t%s\n", a.Attribute, a.Value)
+		objs = append(objs, obj{a.Attribute, a.Value})
+	}
+	for _, o := range probe.Objects {
+		fmt.Fprintf(&stdin, "%s\t%s\n", o.Predicate, o.Object)
+		objs = append(objs, obj{o.Predicate, o.Object})
+	}
+	objsJSON, err := json.Marshal(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverFresh := queryCandidates(t, base, fmt.Sprintf(`{"uri":"smoke:probe","objects":%s}`, objsJSON))
+	cliFresh := runCLI(t, cliBin, e1Path, e2Path, "smoke:probe", stdin.String())
+	if !bytes.Equal(serverFresh, cliFresh) {
+		t.Errorf("new-entity candidates differ between server and CLI:\n--- server ---\n%s\n--- cli ---\n%s", serverFresh, cliFresh)
+	}
+
+	// SIGTERM: the server must drain and exit cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("minoanerd exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("minoanerd did not exit within 30s of SIGTERM")
+	}
+	<-drained
+	out := tail.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "shutdown complete") {
+		t.Errorf("drain messages missing from stdout:\n%s", out)
+	}
+}
+
+// writeKB serializes one KB as N-Triples.
+func writeKB(t *testing.T, path string, k *minoaner.KB) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minoaner.WriteNTriples(f, k); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildBinary compiles one command into dir.
+func buildBinary(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+type httpResult struct {
+	status int
+	body   []byte
+}
+
+func httpJSON(t *testing.T, method, url, body string) httpResult {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httpResult{resp.StatusCode, data}
+}
+
+// queryCandidates posts one query and re-indents the raw candidates array
+// exactly the way the CLI's JSON encoder prints it, preserving the original
+// number literals (no decode/re-encode drift).
+func queryCandidates(t *testing.T, base, body string) []byte {
+	t.Helper()
+	r := httpJSON(t, http.MethodPost, base+"/v1/pairs/smoke/query", body)
+	if r.status != http.StatusOK {
+		t.Fatalf("query = %d: %s", r.status, r.body)
+	}
+	var resp struct {
+		Candidates json.RawMessage `json:"candidates"`
+	}
+	if err := json.Unmarshal(r.body, &resp); err != nil {
+		t.Fatalf("query response %s: %v", r.body, err)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, resp.Candidates, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes()
+}
+
+// runCLI resolves one query through cmd/minoaner -query -json -quiet.
+func runCLI(t *testing.T, bin, e1, e2, uri, stdin string) []byte {
+	t.Helper()
+	cmd := exec.Command(bin, "-e1", e1, "-e2", e2, "-query", uri, "-json", "-quiet")
+	cmd.Stdin = strings.NewReader(stdin)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("minoaner -query %s: %v\n%s", uri, err, errb.String())
+	}
+	return out.Bytes()
+}
