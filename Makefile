@@ -65,7 +65,9 @@ bench-test:
 
 # smoke is the fast CI variant: one small preset, one repetition, plus a
 # CLI round trip through the per-entity query path (-query, both output
-# formats) on a generated dataset.
+# formats) on a generated dataset, and a snapshot round trip: the substrate
+# is persisted with -save-snapshot, reloaded with -snapshot, and the two
+# query paths must emit byte-identical candidates JSON.
 smoke:
 	go test -run '^$$' -bench '^BenchmarkPipelineRestaurant$$' -benchtime 1x .
 	go run ./cmd/experiments -bench -datasets Restaurant -reps 1 -benchout /tmp/bench-smoke.json
@@ -73,7 +75,13 @@ smoke:
 	go run ./cmd/minoaner -e1 /tmp/minoaner-query-smoke/e1.nt -e2 /tmp/minoaner-query-smoke/e2.nt \
 		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)"
 	go run ./cmd/minoaner -e1 /tmp/minoaner-query-smoke/e1.nt -e2 /tmp/minoaner-query-smoke/e2.nt \
-		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)" -json -quiet
+		-save-snapshot /tmp/minoaner-query-smoke/pair.snap \
+		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)" -json -quiet \
+		> /tmp/minoaner-query-smoke/q-build.json
+	go run ./cmd/minoaner -snapshot /tmp/minoaner-query-smoke/pair.snap \
+		-query "$$(head -1 /tmp/minoaner-query-smoke/gt.tsv | cut -f1)" -json -quiet \
+		> /tmp/minoaner-query-smoke/q-snap.json
+	cmp /tmp/minoaner-query-smoke/q-build.json /tmp/minoaner-query-smoke/q-snap.json
 
 # serve-smoke exercises the real minoanerd binary end to end: build both
 # binaries, serve a generated dataset, load a pair, query it in both request

@@ -6,6 +6,8 @@
 //	minoaner -e1 kb1.nt -e2 kb2.nt [-format nt|tsv] [-gt truth.tsv]
 //	         [-k 2] [-K 15] [-N 3] [-theta 0.6] [-workers 0] [-rules]
 //	         [-timeout 30s] [-shards 0] [-stream] [-query URI] [-json]
+//	         [-save-snapshot pair.snap]
+//	minoaner -snapshot pair.snap [-query URI] [-json] [...]
 //
 // With -gt (a TSV of uri1<TAB>uri2 true matches) it also reports precision,
 // recall and F1. With -rules each output line is annotated with the
@@ -22,6 +24,12 @@
 // read from stdin as predicate<TAB>object lines (objects that are not E1
 // URIs are treated as literal values). Candidates print as
 // uri<TAB>score<TAB>rule, or as a JSON array with -json.
+//
+// With -save-snapshot the build-once substrate (including the prewarmed
+// query state) is persisted to the given path after construction; with
+// -snapshot a previously saved snapshot replaces -e1/-e2 entirely — the
+// substrate is memory-mapped and query-ready without rebuilding, and both
+// batch resolution and -query run against it with identical output.
 package main
 
 import (
@@ -56,17 +64,17 @@ func main() {
 		stream  = flag.Bool("stream", false, "load KBs through the streaming ingestion path")
 		query   = flag.String("query", "", "resolve one entity (an E1 URI, or a new URI with statements on stdin) instead of the batch pipeline")
 		jsonOut = flag.Bool("json", false, "with -query, emit candidates as a JSON array")
+		snapIn  = flag.String("snapshot", "", "load the substrate from this snapshot file instead of building from -e1/-e2")
+		snapOut = flag.String("save-snapshot", "", "persist the built substrate (with prewarmed query state) to this snapshot file")
 	)
 	flag.Parse()
-	if *e1Path == "" || *e2Path == "" {
+	if *snapIn == "" && (*e1Path == "" || *e2Path == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	k1, err := loadKB("E1", *e1Path, *format, *stream)
-	exitOn(err)
-	k2, err := loadKB("E2", *e2Path, *format, *stream)
-	exitOn(err)
+	if *snapIn != "" && *snapOut != "" {
+		exitOn(fmt.Errorf("-snapshot and -save-snapshot are mutually exclusive"))
+	}
 
 	cfg := minoaner.DefaultConfig()
 	cfg.NameK = *nameK
@@ -82,12 +90,53 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	var (
+		k1, k2 *minoaner.KB
+		sub    *minoaner.Substrate
+	)
+	if *snapIn != "" {
+		start := time.Now()
+		loaded, err := minoaner.OpenSnapshot(*snapIn)
+		exitOn(err)
+		sub = loaded.Substrate()
+		k1, k2 = sub.K1(), sub.K2()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "minoaner: snapshot %s: %s vs %s loaded in %v\n",
+				*snapIn, k1.Name(), k2.Name(), time.Since(start).Round(time.Microsecond))
+		}
+	} else {
+		var err error
+		k1, err = loadKB("E1", *e1Path, *format, *stream)
+		exitOn(err)
+		k2, err = loadKB("E2", *e2Path, *format, *stream)
+		exitOn(err)
+		if *snapOut != "" || *query != "" {
+			sub, err = minoaner.BuildSubstrate(ctx, k1, k2, cfg)
+			exitOn(err)
+		}
+		if *snapOut != "" {
+			exitOn(minoaner.WriteSnapshotFile(*snapOut, sub))
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "minoaner: snapshot saved to %s\n", *snapOut)
+			}
+		}
+	}
+
 	if *query != "" {
-		runQuery(ctx, k1, k2, cfg, *query, *jsonOut, *quiet)
+		runQuery(ctx, k1, sub, cfg, *query, *jsonOut, *quiet)
 		return
 	}
 
-	out, err := minoaner.Resolve(ctx, k1, k2, cfg)
+	var (
+		out *minoaner.Output
+		err error
+	)
+	if sub != nil {
+		out, err = minoaner.ResolveWith(ctx, sub, cfg)
+	} else {
+		out, err = minoaner.Resolve(ctx, k1, k2, cfg)
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		exitOn(fmt.Errorf("resolution exceeded -timeout %v", *timeout))
 	}
@@ -119,11 +168,9 @@ func main() {
 	}
 }
 
-// runQuery builds the substrate once and resolves a single entity against
-// it through the per-entity query path.
-func runQuery(ctx context.Context, k1, k2 *minoaner.KB, cfg minoaner.Config, uri string, jsonOut, quiet bool) {
-	sub, err := minoaner.BuildSubstrate(ctx, k1, k2, cfg)
-	exitOn(err)
+// runQuery resolves a single entity against a ready substrate (built this
+// run or loaded from a snapshot) through the per-entity query path.
+func runQuery(ctx context.Context, k1 *minoaner.KB, sub *minoaner.Substrate, cfg minoaner.Config, uri string, jsonOut, quiet bool) {
 	var q minoaner.EntityQuery
 	if e := k1.Lookup(uri); e >= 0 {
 		q = minoaner.QueryFromEntity(k1, e)

@@ -6,7 +6,15 @@
 // Serve:
 //
 //	minoanerd [-addr 127.0.0.1:7870] [-drain 15s] [-timeout 30s]
-//	          [-max-timeout 5m] [-max-body 1048576]
+//	          [-max-timeout 5m] [-max-body 1048576] [-pair SPEC ...]
+//
+// Each -pair SPEC (repeatable) preloads one pair at startup. A SPEC is
+// either a JSON LoadPairRequest body — e.g.
+// '{"id":"r","snapshot":"/data/pair.snap"}' — or a bare path ending in
+// .snap, shorthand for a snapshot-sourced pair. Snapshot-sourced pairs are
+// memory-mapped and query-ready without a rebuild, so a server restarted
+// from snapshots reaches readiness in milliseconds instead of re-running
+// every substrate build.
 //
 // The /v1 API (JSON bodies; errors use {"error":{"code","message"}}):
 //
@@ -41,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,14 +67,21 @@ func main() {
 
 		loadtest = flag.Bool("loadtest", false, "run the load-test client instead of serving")
 		target   = flag.String("target", "http://127.0.0.1:7870", "base URL of the server to load-test")
-		pairID   = flag.String("pair", "", "pair ID to load-test (required with -loadtest)")
 		clients  = flag.Int("clients", 4, "concurrent load-test clients")
 		queries  = flag.Int("queries", 2000, "total load-test requests")
+
+		pairs []string
 	)
+	flag.Func("pair", "serve: preload a pair (JSON LoadPairRequest or a .snap path; repeatable); loadtest: the pair ID to hammer",
+		func(v string) error { pairs = append(pairs, v); return nil })
 	flag.Parse()
 
 	if *loadtest {
-		runLoadtest(*target, *pairID, *clients, *queries)
+		if len(pairs) != 1 {
+			fmt.Fprintln(os.Stderr, "minoanerd: -loadtest requires exactly one -pair ID")
+			os.Exit(2)
+		}
+		runLoadtest(*target, pairs[0], *clients, *queries)
 		return
 	}
 
@@ -81,11 +97,29 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})
+	preloaded := make([]*server.Pair, 0, len(pairs))
+	for _, raw := range pairs {
+		spec, err := parsePairSpec(raw)
+		exitOn(err)
+		p, _, err := srv.Registry().Load(spec)
+		exitOn(err)
+		preloaded = append(preloaded, p)
+	}
+
 	bound, err := srv.Start()
 	exitOn(err)
 	// The listen line goes to stdout so harnesses (make serve-smoke) can
 	// discover an ephemeral port.
 	fmt.Printf("minoanerd: listening on %s\n", bound)
+	for _, p := range preloaded {
+		<-p.Done()
+		info := srv.Registry().Info(p)
+		if info.Status == server.StatusFailed {
+			exitOn(fmt.Errorf("preloading pair %s: %s", info.ID, info.Error))
+		}
+		fmt.Printf("minoanerd: pair %s ready (load %.1fms, prewarm %.1fms)\n",
+			info.ID, info.LoadMS, info.PrewarmMS)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -96,6 +130,23 @@ func main() {
 	defer cancel()
 	exitOn(srv.Shutdown(dctx))
 	fmt.Println("minoanerd: shutdown complete")
+}
+
+// parsePairSpec turns one -pair value into a load request: a JSON body
+// verbatim, or a bare *.snap path as snapshot-source shorthand.
+func parsePairSpec(raw string) (server.LoadPairRequest, error) {
+	var spec server.LoadPairRequest
+	if strings.HasPrefix(strings.TrimSpace(raw), "{") {
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			return spec, fmt.Errorf("parsing -pair spec: %w", err)
+		}
+		return spec, nil
+	}
+	if strings.HasSuffix(raw, ".snap") {
+		spec.Snapshot = raw
+		return spec, nil
+	}
+	return spec, fmt.Errorf("-pair %q is neither a JSON spec nor a .snap path", raw)
 }
 
 // runLoadtest fetches the pair's E1 URIs and hammers the query endpoint.

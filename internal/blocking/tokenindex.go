@@ -38,16 +38,22 @@ type TokenIndex struct {
 	// negative slot marks a token absent from the slot space (possible only
 	// in from-collection indexes, whose slots cover just the kept blocks).
 	t1, t2 []int32
-	// e1/e2 are the per-slot member lists (entities of each KB containing
-	// the token, sorted by ID). They alias flat CSR arrays or, in the
-	// from-collection case, the collection's own block slices.
-	e1, e2 [][]kb.EntityID
+	// o1/m1 and o2/m2 are the per-slot member CSRs: slot s's members of KB i
+	// (entities containing the token, sorted by ID) are mi[oi[s]:oi[s+1]].
+	// Kept flat — never as per-slot slice headers — so a snapshot loader can
+	// install memory-mapped views with O(1) work and zero allocation.
+	o1, o2 []int32
+	m1, m2 []kb.EntityID
 	// weight[s] is the precomputed per-token valueSim contribution; 0 marks
 	// a dead slot.
 	weight []float64
 	// live counts slots with positive weight (== Collection().Len()).
 	live int
 }
+
+// mem1/mem2 return one slot's member list of each side.
+func (ix *TokenIndex) mem1(s int32) []kb.EntityID { return ix.m1[ix.o1[s]:ix.o1[s+1]] }
+func (ix *TokenIndex) mem2(s int32) []kb.EntityID { return ix.m2[ix.o2[s]:ix.o2[s+1]] }
 
 // NewTokenIndexCtx builds the token index for a KB pair with two passes
 // over the entities per side: per-span occurrence counts (the CSR offsets)
@@ -81,15 +87,14 @@ func NewTokenIndexCtx(ctx context.Context, e *parallel.Engine, k1, k2 *kb.KB) (*
 	if err != nil {
 		return nil, err
 	}
-	ix.e1 = make([][]kb.EntityID, n)
-	ix.e2 = make([][]kb.EntityID, n)
+	ix.m1, ix.o1 = mem1, off1
+	ix.m2, ix.o2 = mem2, off2
 	ix.weight = make([]float64, n)
 	err = e.Chunked().ForCtx(ctx, n, func(s int) error {
-		m1 := mem1[off1[s]:off1[s+1]]
-		m2 := mem2[off2[s]:off2[s+1]]
-		ix.e1[s], ix.e2[s] = m1, m2
-		if len(m1) > 0 && len(m2) > 0 {
-			ix.weight[s] = stats.TokenWeight(len(m1), len(m2))
+		n1 := int(off1[s+1] - off1[s])
+		n2 := int(off2[s+1] - off2[s])
+		if n1 > 0 && n2 > 0 {
+			ix.weight[s] = stats.TokenWeight(n1, n2)
 		}
 		return nil
 	})
@@ -254,17 +259,17 @@ func offsets(counts []int32) []int32 {
 }
 
 // IndexFromCollection builds a TokenIndex view over an existing (typically
-// purged) block collection: slots are block positions, member lists alias
-// the blocks, and the translation tables are filled with one dictionary
-// lookup per distinct token of each KB. This is the compatibility path for
-// callers that assemble a graph input from a bare Collection; the pipeline
-// threads the purged index itself.
+// purged) block collection: slots are block positions, member lists are
+// concatenated into the index's flat CSRs, and the translation tables are
+// filled with one dictionary lookup per distinct token of each KB. This is
+// the compatibility path for callers that assemble a graph input from a bare
+// Collection; the pipeline threads the purged index itself.
 func IndexFromCollection(c *Collection, k1, k2 *kb.KB) *TokenIndex {
 	n := len(c.Blocks)
 	ix := &TokenIndex{
 		keys:   make([]string, n),
-		e1:     make([][]kb.EntityID, n),
-		e2:     make([][]kb.EntityID, n),
+		o1:     make([]int32, n+1),
+		o2:     make([]int32, n+1),
 		weight: make([]float64, n),
 		live:   n,
 	}
@@ -272,9 +277,16 @@ func IndexFromCollection(c *Collection, k1, k2 *kb.KB) *TokenIndex {
 	for s := range c.Blocks {
 		b := &c.Blocks[s]
 		ix.keys[s] = b.Key
-		ix.e1[s], ix.e2[s] = b.E1, b.E2
+		ix.o1[s+1] = ix.o1[s] + int32(len(b.E1))
+		ix.o2[s+1] = ix.o2[s] + int32(len(b.E2))
 		ix.weight[s] = stats.TokenWeight(len(b.E1), len(b.E2))
 		byKey[b.Key] = int32(s)
+	}
+	ix.m1 = make([]kb.EntityID, 0, ix.o1[n])
+	ix.m2 = make([]kb.EntityID, 0, ix.o2[n])
+	for s := range c.Blocks {
+		ix.m1 = append(ix.m1, c.Blocks[s].E1...)
+		ix.m2 = append(ix.m2, c.Blocks[s].E2...)
 	}
 	ix.t1 = translateByKey(k1.TokenDict(), byKey)
 	ix.t2 = translateByKey(k2.TokenDict(), byKey)
@@ -310,7 +322,9 @@ func (ix *TokenIndex) TotalComparisons() int64 {
 	var total int64
 	for s, w := range ix.weight {
 		if w > 0 {
-			total += int64(len(ix.e1[s])) * int64(len(ix.e2[s]))
+			n1 := int64(ix.o1[s+1] - ix.o1[s])
+			n2 := int64(ix.o2[s+1] - ix.o2[s])
+			total += n1 * n2
 		}
 	}
 	return total
@@ -341,9 +355,9 @@ func (ix *TokenIndex) ForEachShared(d *kb.Description, fromE1 bool, f func(w flo
 // description would take. Tokens must belong to the side named by fromE1.
 // The receiver is never mutated, so concurrent walks are safe.
 func (ix *TokenIndex) ForEachSharedTokens(tids []kb.TokenID, fromE1 bool, f func(w float64, others []kb.EntityID)) {
-	t, others := ix.t1, ix.e2
+	t, off, mem := ix.t1, ix.o2, ix.m2
 	if !fromE1 {
-		t, others = ix.t2, ix.e1
+		t, off, mem = ix.t2, ix.o1, ix.m1
 	}
 	for _, tid := range tids {
 		s := slotOf(t, tid)
@@ -351,7 +365,7 @@ func (ix *TokenIndex) ForEachSharedTokens(tids []kb.TokenID, fromE1 bool, f func
 			continue
 		}
 		if w := ix.weight[s]; w > 0 {
-			f(w, others[s])
+			f(w, mem[off[s]:off[s+1]])
 		}
 	}
 }
@@ -372,7 +386,7 @@ func (ix *TokenIndex) Collection() *Collection {
 	})
 	blocks := make([]Block, len(liveSlots))
 	for i, s := range liveSlots {
-		blocks[i] = Block{Key: ix.key(s), E1: ix.e1[s], E2: ix.e2[s]}
+		blocks[i] = Block{Key: ix.key(s), E1: ix.mem1(s), E2: ix.mem2(s)}
 	}
 	return &Collection{Blocks: blocks}
 }
@@ -393,7 +407,7 @@ func (ix *TokenIndex) PurgeAbove(maxComparisons int64) (*TokenIndex, int) {
 		if w == 0 {
 			continue
 		}
-		if int64(len(ix.e1[s]))*int64(len(ix.e2[s])) > maxComparisons {
+		if int64(len(ix.mem1(int32(s))))*int64(len(ix.mem2(int32(s)))) > maxComparisons {
 			out.weight[s] = 0
 			out.live--
 			purged++

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"strings"
 	"sync"
 
 	"minoaner/internal/graph"
@@ -101,8 +102,29 @@ type nameUsers struct {
 type queryState struct {
 	g     *graph.Graph
 	scope *graph.Gamma1Scope
-	names map[string]nameUsers
-	pool  sync.Pool // *querySlot
+	// Exactly one of names/sorted is set: names is the map the lazy build
+	// produces; sorted is the name-ordered flat index a snapshot install
+	// provides (its strings may alias a memory-mapped region).
+	names  map[string]nameUsers
+	sorted []NameUsage
+	pool   sync.Pool // *querySlot
+}
+
+// lookupName resolves one normalized name against whichever index form the
+// state carries.
+func (st *queryState) lookupName(n string) (nameUsers, bool) {
+	if st.names != nil {
+		u, ok := st.names[n]
+		return u, ok
+	}
+	i, ok := slices.BinarySearchFunc(st.sorted, n, func(u NameUsage, target string) int {
+		return strings.Compare(u.Name, target)
+	})
+	if !ok {
+		return nameUsers{}, false
+	}
+	u := st.sorted[i]
+	return nameUsers{n1: u.N1, n2: u.N2, e1: u.E1, e2: u.E2}, true
 }
 
 // querySlot is the scratch one in-flight query owns.
@@ -302,7 +324,7 @@ func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config)
 	if mc.EnableR1 {
 		d := kb.Description{Attrs: attrs}
 		for _, n := range stats.NamesOf(&d, sub.nameAttrs1) {
-			u, ok := st.names[n]
+			u, ok := st.lookupName(n)
 			if !ok || u.n2 != 1 {
 				continue
 			}
@@ -336,7 +358,7 @@ func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config)
 	emit := func(c kb.EntityID, rule matching.Rule, score float64) QueryMatch {
 		m := QueryMatch{
 			Candidate:   c,
-			URI:         sub.k2.Entity(c).URI,
+			URI:         sub.k2.URI(c),
 			Rule:        rule,
 			Score:       score,
 			ValueSim:    weightIn(beta, c),

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"runtime/metrics"
@@ -20,6 +21,7 @@ import (
 	"minoaner/internal/eval"
 	"minoaner/internal/kb"
 	"minoaner/internal/server"
+	"minoaner/internal/snapshot"
 )
 
 // BenchResult is the per-stage wall-clock record of one dataset's pipeline
@@ -75,6 +77,25 @@ type BenchResult struct {
 	// LoadRuns adds transport, routing and encoding — the costs a serving
 	// deployment actually pays per request.
 	LoadRuns []LoadRun `json:"load_runs,omitempty"`
+	// SnapshotRuns holds the persisted-substrate data point: the cost of
+	// writing the substrate snapshot to disk and the time from a cold
+	// mmap-open to the first answered query, against the rebuild path
+	// (substrate build + prewarm) a restart without snapshots would pay.
+	SnapshotRuns []SnapshotRun `json:"snapshot_runs,omitempty"`
+}
+
+// SnapshotRun is one persisted-substrate data point: WriteMS and FileMB
+// price the save, OpenMS is the cold OpenSubstrate plus the FIRST
+// QueryEntity on the mapping (time-to-first-answer from disk, best of
+// reps), RebuildMS the substrate build + prewarm wall the query run of the
+// same dataset measured, and SpeedupX their ratio — the warm-start claim
+// the regression gate holds the format to.
+type SnapshotRun struct {
+	WriteMS   float64 `json:"write_ms"`
+	FileMB    float64 `json:"file_mb"`
+	OpenMS    float64 `json:"open_ms"`
+	RebuildMS float64 `json:"rebuild_ms"`
+	SpeedupX  float64 `json:"speedup_x"`
 }
 
 // LoadRun is one server-path load-test data point: Queries requests from
@@ -231,6 +252,11 @@ func (s *Suite) Bench(reps int, shardCounts, workerCounts []int) (*BenchReport, 
 			return nil, err
 		}
 		r.QueryRuns = append(r.QueryRuns, qr)
+		snr, err := benchSnapshot(d, cfg, sub, qr, reps)
+		if err != nil {
+			return nil, err
+		}
+		r.SnapshotRuns = append(r.SnapshotRuns, snr)
 		lrs, err := benchLoad(d, sub, benchLoadClients)
 		if err != nil {
 			return nil, err
@@ -304,6 +330,73 @@ func benchQuery(d *datagen.Dataset, cfg core.Config, minQueries int) (QueryRun, 
 	qr.P95US = percentileUS(lat, 0.95)
 	qr.P99US = percentileUS(lat, 0.99)
 	return qr, sub, nil
+}
+
+// benchSnapshot measures the persisted-substrate path. The substrate the
+// query run prewarmed is written to a snapshot once (write wall, file
+// size); then, reps times, the file is opened cold — a fresh mmap, no state
+// shared with the writing substrate — and one QueryEntity answered on the
+// mapping, keeping the fastest open→first-answer wall. RebuildMS reuses
+// the query run's substrate + prewarm clocks so SpeedupX compares the two
+// ways a restart can reach the same query-ready state.
+func benchSnapshot(d *datagen.Dataset, cfg core.Config, sub *core.Substrate, qr QueryRun, reps int) (SnapshotRun, error) {
+	ctx := context.Background()
+	sr := SnapshotRun{RebuildMS: qr.SubstrateMS + qr.PrewarmMS}
+	dir, err := os.MkdirTemp("", "minoaner-bench-snap-")
+	if err != nil {
+		return sr, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // best-effort temp cleanup
+	path := filepath.Join(dir, "pair.snap")
+	start := time.Now()
+	if err := snapshot.WriteSubstrateFile(path, sub); err != nil {
+		return sr, err
+	}
+	sr.WriteMS = ms(time.Since(start))
+	fi, err := os.Stat(path)
+	if err != nil {
+		return sr, err
+	}
+	sr.FileMB = mb(uint64(fi.Size()))
+	q := core.QueryFromEntity(d.K1, 0)
+	// Warm-up open + GC before the timed reps, mirroring resolveBest: the
+	// query benchmark that just ran leaves the pacer sized to its garbage,
+	// which otherwise taxes the first opens with collections they didn't
+	// cause.
+	warm, err := snapshot.OpenSubstrate(path)
+	if err != nil {
+		return sr, err
+	}
+	if _, err := core.QueryEntity(ctx, warm.Substrate(), q, cfg); err != nil {
+		warm.Close() //nolint:errcheck // the query error is the one to report
+		return sr, err
+	}
+	if err := warm.Close(); err != nil {
+		return sr, err
+	}
+	runtime.GC()
+	for i := 0; i < max(reps, 1); i++ {
+		start = time.Now()
+		loaded, err := snapshot.OpenSubstrate(path)
+		if err != nil {
+			return sr, err
+		}
+		if _, err := core.QueryEntity(ctx, loaded.Substrate(), q, cfg); err != nil {
+			loaded.Close() //nolint:errcheck // the query error is the one to report
+			return sr, err
+		}
+		open := ms(time.Since(start))
+		if err := loaded.Close(); err != nil {
+			return sr, err
+		}
+		if i == 0 || open < sr.OpenMS {
+			sr.OpenMS = open
+		}
+	}
+	if sr.OpenMS > 0 {
+		sr.SpeedupX = sr.RebuildMS / sr.OpenMS
+	}
+	return sr, nil
 }
 
 // benchLoad measures the served query path: the prewarmed substrate is
@@ -546,6 +639,10 @@ func FormatBench(r *BenchReport) string {
 			fmt.Fprintf(&sb, "  %-16s p50=%.0fµs p95=%.0fµs p99=%.0fµs (substrate %.1fms + prewarm %.1fms)\n",
 				fmt.Sprintf("query×%d", qr.Queries), qr.P50US, qr.P95US, qr.P99US,
 				qr.SubstrateMS, qr.PrewarmMS)
+		}
+		for _, sn := range x.SnapshotRuns {
+			fmt.Fprintf(&sb, "  %-16s write=%.1fms file=%.1fMB open→query=%.2fms rebuild=%.1fms (%.0f× faster)\n",
+				"snapshot", sn.WriteMS, sn.FileMB, sn.OpenMS, sn.RebuildMS, sn.SpeedupX)
 		}
 		for _, lr := range x.LoadRuns {
 			fmt.Fprintf(&sb, "  %-16s qps=%.0f p50=%.0fµs p95=%.0fµs p99=%.0fµs (%d queries over HTTP)\n",

@@ -30,6 +30,22 @@ const (
 // max(baseline, loadFloorUS) × tolerance.
 const loadFloorUS = 2000.0
 
+// Snapshot-path gate constants: the cold open→first-query wall is judged
+// against max(baseline, snapFloorMS) × tolerance like every other timing,
+// and the warm-start claim itself must not regress — every dataset whose
+// BASELINE snapshot run beat the rebuild path by snapMinSpeedup× counts as
+// a witness of the claim, and the current run must reproduce it on at
+// least snapMinDatasets of them (all of them if the baseline has fewer),
+// so a format change can never quietly demote the snapshot to "a slower
+// rebuild". Gating only baseline witnesses keeps tiny-scale runs — where
+// a rebuild is itself a few milliseconds and no 10× gap exists to defend —
+// self-consistent.
+const (
+	snapFloorMS     = 5.0
+	snapMinSpeedup  = 10.0
+	snapMinDatasets = 2
+)
+
 // ReadBenchJSON loads a benchmark report written by BenchReport.WriteJSON —
 // the committed baseline the CI regression gate compares against.
 func ReadBenchJSON(path string) (*BenchReport, error) {
@@ -74,6 +90,9 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 		failf("scale mismatch: current %g vs baseline %g (refresh the baseline or pass -scale %g)",
 			cur.Scale, base.Scale, base.Scale)
 	} else {
+		// Tally of the snapshot warm-start claim across datasets (see the
+		// snapshot-run block below and the check after the loop).
+		var snapGated, snapFast int
 		for _, b := range base.Results {
 			c := findResult(cur, b.Dataset)
 			if c == nil {
@@ -171,6 +190,26 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 					}
 				}
 			}
+			// Snapshot runs: the cold open→first-query wall against its own
+			// floored baseline; the speedup requirement is tallied across
+			// datasets below.
+			if len(b.SnapshotRuns) > 0 {
+				if len(c.SnapshotRuns) == 0 {
+					failf("%s: snapshot run present in baseline but not in current run", b.Dataset)
+				} else {
+					bs, cs := b.SnapshotRuns[0], c.SnapshotRuns[0]
+					if eb := max(bs.OpenMS, snapFloorMS); cs.OpenMS > eb*maxRatio {
+						failf("%s: snapshot open→first-query %.2fms exceeds %.2fms baseline (floored to %.1fms) ×%.1f tolerance",
+							b.Dataset, cs.OpenMS, bs.OpenMS, eb, maxRatio)
+					}
+					if bs.SpeedupX >= snapMinSpeedup {
+						snapGated++
+						if cs.SpeedupX >= snapMinSpeedup {
+							snapFast++
+						}
+					}
+				}
+			}
 			// Server-path load runs: the p99 tail is gated per concurrency
 			// level against its own baseline entry, floored like every other
 			// latency. Throughput is recorded but not gated — qps on a shared
@@ -187,6 +226,10 @@ func CheckBench(cur, base *BenchReport, maxRatio float64) error {
 						b.Dataset, bl.Clients, cl.P99US, bl.P99US, eb, maxRatio)
 				}
 			}
+		}
+		if want := min(snapMinDatasets, snapGated); snapGated > 0 && snapFast < want {
+			failf("snapshot warm start beat the rebuild path by ≥%.0f× on only %d of %d gated datasets (need %d)",
+				snapMinSpeedup, snapFast, snapGated, want)
 		}
 	}
 	if len(fails) == 0 {

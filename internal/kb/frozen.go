@@ -1,0 +1,159 @@
+// Frozen (read-only, flat) string tables: the serialization-side counterpart
+// of the Interner/Schema dictionaries. A FrozenStrings stores every string of
+// one dictionary as a single byte blob plus CSR offsets, with an optional
+// string-sorted permutation enabling binary-search Lookup — no map, no
+// per-string allocation, so a dictionary loaded from a memory-mapped
+// snapshot aliases the mapping and costs O(1) to "build". Frozen tables are
+// immutable; interning into one panics, which is exactly the read-only
+// contract a snapshot-backed KB promises.
+package kb
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"unsafe"
+)
+
+// FrozenStrings is an immutable string table: string i is blob[off[i]:off[i+1]].
+// When sorted is non-nil it is the permutation of indices ordered by string,
+// enabling Lookup by binary search; a nil sorted table supports At only
+// (used for value blobs that are never looked up).
+type FrozenStrings struct {
+	blob   []byte
+	off    []int64
+	sorted []uint32
+}
+
+// NewFrozenStrings assembles a frozen table over caller-provided backing
+// arrays (typically views into a memory-mapped snapshot region; the table
+// aliases them). off must hold n+1 non-decreasing offsets covering blob
+// exactly; sorted must be nil or hold n entries.
+func NewFrozenStrings(blob []byte, off []int64, sorted []uint32) (*FrozenStrings, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("kb: frozen strings: empty offset table")
+	}
+	n := len(off) - 1
+	if off[0] != 0 || off[n] != int64(len(blob)) {
+		return nil, fmt.Errorf("kb: frozen strings: offsets [%d..%d] do not cover blob of %d bytes", off[0], off[n], len(blob))
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return nil, fmt.Errorf("kb: frozen strings: offsets decrease at %d", i)
+		}
+	}
+	if sorted != nil && len(sorted) != n {
+		return nil, fmt.Errorf("kb: frozen strings: sorted permutation has %d entries, want %d", len(sorted), n)
+	}
+	return &FrozenStrings{blob: blob, off: off, sorted: sorted}, nil
+}
+
+// FreezeStrings builds a frozen table from a live string slice (the write
+// side of snapshot serialization). withLookup additionally computes the
+// string-sorted permutation so the frozen table supports Lookup.
+func FreezeStrings(strs []string, withLookup bool) *FrozenStrings {
+	total := 0
+	for _, s := range strs {
+		total += len(s)
+	}
+	f := &FrozenStrings{
+		blob: make([]byte, 0, total),
+		off:  make([]int64, len(strs)+1),
+	}
+	for i, s := range strs {
+		f.off[i] = int64(len(f.blob))
+		f.blob = append(f.blob, s...)
+	}
+	f.off[len(strs)] = int64(len(f.blob))
+	if withLookup {
+		f.sorted = make([]uint32, len(strs))
+		for i := range f.sorted {
+			f.sorted[i] = uint32(i)
+		}
+		sort.Slice(f.sorted, func(a, b int) bool {
+			return f.At(int(f.sorted[a])) < f.At(int(f.sorted[b]))
+		})
+	}
+	return f
+}
+
+// Len returns the number of strings.
+func (f *FrozenStrings) Len() int { return len(f.off) - 1 }
+
+// At returns string i without copying: the result aliases the blob. The
+// empty string is returned for empty spans (never a pointer past the blob).
+func (f *FrozenStrings) At(i int) string {
+	lo, hi := f.off[i], f.off[i+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&f.blob[lo], hi-lo)
+}
+
+// Lookup finds the index of s by binary search over the sorted permutation.
+// It reports false when s is absent or the table was frozen without lookup
+// support.
+func (f *FrozenStrings) Lookup(s string) (uint32, bool) {
+	if f.sorted == nil {
+		return 0, false
+	}
+	i, ok := slices.BinarySearchFunc(f.sorted, s, func(idx uint32, target string) int {
+		return strings.Compare(f.At(int(idx)), target)
+	})
+	if !ok {
+		return 0, false
+	}
+	return f.sorted[i], true
+}
+
+// Parts exposes the backing arrays for serialization. Callers must treat
+// them as read-only.
+func (f *FrozenStrings) Parts() (blob []byte, off []int64, sorted []uint32) {
+	return f.blob, f.off, f.sorted
+}
+
+// NewFrozenInterner wraps a frozen string table as a read-only token
+// dictionary: TokenString/Lookup/Len route to the table, Intern panics.
+func NewFrozenInterner(fs *FrozenStrings) *Interner {
+	return &Interner{frozen: fs}
+}
+
+// Freeze snapshots the interner's current contents as a frozen table with
+// lookup support (token ID i maps to string i, preserving the dense ID
+// space). A frozen interner returns its own table.
+func (in *Interner) Freeze() *FrozenStrings {
+	if in.frozen != nil {
+		return in.frozen
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return FreezeStrings(in.strs, true)
+}
+
+// NewFrozenSchema wraps three frozen tables (predicates, attribute names,
+// normalized values) as a read-only schema dictionary set. ID spaces are
+// positional, so a schema round-tripped through Freeze/NewFrozenSchema
+// assigns exactly the original IDs.
+func NewFrozenSchema(preds, attrs, vals *FrozenStrings) *Schema {
+	return &Schema{
+		preds: symtab{frozen: preds},
+		attrs: symtab{frozen: attrs},
+		vals:  symtab{frozen: vals},
+	}
+}
+
+// Freeze snapshots the schema's three dictionaries as frozen tables with
+// lookup support.
+func (s *Schema) Freeze() (preds, attrs, vals *FrozenStrings) {
+	return s.preds.freeze(), s.attrs.freeze(), s.vals.freeze()
+}
+
+func (t *symtab) freeze() *FrozenStrings {
+	if t.frozen != nil {
+		return t.frozen
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FreezeStrings(t.strs, true)
+}

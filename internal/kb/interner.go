@@ -24,6 +24,9 @@ type Interner struct {
 	mu   sync.Mutex
 	ids  map[string]TokenID
 	strs []string
+	// frozen, when set, backs a read-only dictionary loaded from a snapshot:
+	// reads route to the flat table and interning panics (see NewFrozenInterner).
+	frozen *FrozenStrings
 }
 
 // NewInterner returns an empty token dictionary.
@@ -33,6 +36,9 @@ func NewInterner() *Interner {
 
 // Len returns the number of distinct tokens interned so far.
 func (in *Interner) Len() int {
+	if in.frozen != nil {
+		return in.frozen.Len()
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return len(in.strs)
@@ -46,6 +52,9 @@ func (in *Interner) Intern(tok string) TokenID {
 }
 
 func (in *Interner) intern(tok string) TokenID {
+	if in.frozen != nil {
+		panic("kb: Intern on a frozen (snapshot-backed) dictionary")
+	}
 	if id, ok := in.ids[tok]; ok {
 		return id
 	}
@@ -72,6 +81,10 @@ func (in *Interner) InternAll(toks []string) []TokenID {
 
 // Lookup returns the ID of tok if it has been interned.
 func (in *Interner) Lookup(tok string) (TokenID, bool) {
+	if in.frozen != nil {
+		id, ok := in.frozen.Lookup(tok)
+		return TokenID(id), ok
+	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	id, ok := in.ids[tok]
@@ -80,4 +93,9 @@ func (in *Interner) Lookup(tok string) (TokenID, bool) {
 
 // TokenString returns the string of an interned ID. It is lock-free (IDs are
 // never reassigned); callers must not race it with interning.
-func (in *Interner) TokenString(id TokenID) string { return in.strs[id] }
+func (in *Interner) TokenString(id TokenID) string {
+	if in.frozen != nil {
+		return in.frozen.At(int(id))
+	}
+	return in.strs[id]
+}

@@ -101,12 +101,20 @@ func (d *Description) Values(attr string) []string {
 // dense EntityIDs.
 type KB struct {
 	name     string
+	size     int
 	entities []Description
 	byURI    map[string]EntityID
 	dict     *Interner
 	schema   *Schema
 	cols     columns
 	triples  int
+	// frozenURIs backs Lookup for snapshot-loaded KBs, replacing the byURI
+	// map with a binary search over the frozen URI table (byURI is nil then).
+	frozenURIs *FrozenStrings
+	// lazy defers description materialization for snapshot-loaded KBs: the
+	// columnar substrate answers everything a query needs, so the per-entity
+	// Description array is only built on first access (see ents).
+	lazy *lazyDescriptions
 }
 
 // Name returns the KB's display name.
@@ -119,18 +127,36 @@ func (k *KB) Name() string { return k.name }
 func (k *KB) TokenDict() *Interner { return k.dict }
 
 // Len returns the number of entity descriptions.
-func (k *KB) Len() int { return len(k.entities) }
+func (k *KB) Len() int { return k.size }
 
 // Triples returns the total number of attribute-value pairs plus relations,
 // i.e. the triple count reported in Table 1 of the paper.
 func (k *KB) Triples() int { return k.triples }
 
 // Entity returns the description with the given ID. It panics if the ID is
-// out of range, mirroring slice indexing semantics.
-func (k *KB) Entity(id EntityID) *Description { return &k.entities[id] }
+// out of range, mirroring slice indexing semantics. On a snapshot-loaded KB
+// the first call materializes all descriptions; callers that only need the
+// URI should use URI, which never triggers materialization.
+func (k *KB) Entity(id EntityID) *Description { return &k.ents()[id] }
+
+// URI returns the URI of entity id without materializing descriptions: on a
+// snapshot-loaded KB it reads the frozen URI table directly, keeping the
+// query path's candidate formatting free of the lazy Description build.
+func (k *KB) URI(id EntityID) string {
+	if k.frozenURIs != nil {
+		return k.frozenURIs.At(int(id))
+	}
+	return k.entities[id].URI
+}
 
 // Lookup finds an entity by URI, returning NoEntity if absent.
 func (k *KB) Lookup(uri string) EntityID {
+	if k.byURI == nil && k.frozenURIs != nil {
+		if i, ok := k.frozenURIs.Lookup(uri); ok {
+			return EntityID(i)
+		}
+		return NoEntity
+	}
 	if id, ok := k.byURI[uri]; ok {
 		return id
 	}
@@ -169,14 +195,19 @@ func (k *KB) Neighbors(id EntityID) []EntityID {
 // AverageTokens returns the mean number of distinct tokens per description
 // (Table 1's "av. tokens" row).
 func (k *KB) AverageTokens() float64 {
-	if len(k.entities) == 0 {
+	if k.size == 0 {
 		return 0
+	}
+	if k.lazy != nil {
+		// The flat token array already holds every description's tokens;
+		// no need to materialize descriptions for a count.
+		return float64(len(k.lazy.parts.Tokens)) / float64(k.size)
 	}
 	total := 0
 	for i := range k.entities {
 		total += len(k.entities[i].tokens)
 	}
-	return float64(total) / float64(len(k.entities))
+	return float64(total) / float64(k.size)
 }
 
 // Attributes returns the number of distinct literal attribute names in the
@@ -209,7 +240,7 @@ func (k *KB) RelationNames() int {
 
 // String implements fmt.Stringer with a compact summary.
 func (k *KB) String() string {
-	return fmt.Sprintf("KB(%s: %d entities, %d triples)", k.name, len(k.entities), k.triples)
+	return fmt.Sprintf("KB(%s: %d entities, %d triples)", k.name, k.size, k.triples)
 }
 
 // Builder accumulates raw triples and produces an immutable KB. Object values
@@ -323,7 +354,7 @@ func (b *Builder) Build() *KB {
 		b.entities[i].dict = b.dict
 	}
 	kb := &KB{
-		name: b.name, entities: b.entities, byURI: b.byURI,
+		name: b.name, size: len(b.entities), entities: b.entities, byURI: b.byURI,
 		dict: b.dict, schema: b.schema,
 		cols:    buildColumns(b.entities, b.schema),
 		triples: triples,

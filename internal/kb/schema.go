@@ -25,6 +25,9 @@ type symtab struct {
 	mu   sync.Mutex
 	ids  map[string]uint32
 	strs []string
+	// frozen, when set, backs a read-only dictionary loaded from a snapshot:
+	// reads route to the flat table and interning panics (see NewFrozenSchema).
+	frozen *FrozenStrings
 }
 
 func newSymtab() symtab {
@@ -32,6 +35,9 @@ func newSymtab() symtab {
 }
 
 func (t *symtab) intern(s string) uint32 {
+	if t.frozen != nil {
+		panic("kb: intern into a frozen (snapshot-backed) schema dictionary")
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id, ok := t.ids[s]; ok {
@@ -44,6 +50,9 @@ func (t *symtab) intern(s string) uint32 {
 }
 
 func (t *symtab) lookup(s string) (uint32, bool) {
+	if t.frozen != nil {
+		return t.frozen.Lookup(s)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	id, ok := t.ids[s]
@@ -51,6 +60,9 @@ func (t *symtab) lookup(s string) (uint32, bool) {
 }
 
 func (t *symtab) len() int {
+	if t.frozen != nil {
+		return t.frozen.Len()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.strs)
@@ -59,7 +71,12 @@ func (t *symtab) len() int {
 // str is lock-free: IDs are never reassigned. Callers must not race it with
 // interning — in the pipeline all interning happens at KB build time,
 // strictly before any resolution stage reads the dictionary.
-func (t *symtab) str(id uint32) string { return t.strs[id] }
+func (t *symtab) str(id uint32) string {
+	if t.frozen != nil {
+		return t.frozen.At(int(id))
+	}
+	return t.strs[id]
+}
 
 // Schema is the schema-axis counterpart of the token Interner: the shared
 // dictionaries of relation predicates, literal attribute names, and

@@ -161,7 +161,7 @@ func (b *StreamBuilder) Build() *KB {
 		b.entities[i].dict = b.dict
 	}
 	kb := &KB{
-		name: b.name, entities: b.entities, byURI: b.byURI,
+		name: b.name, size: len(b.entities), entities: b.entities, byURI: b.byURI,
 		dict: b.dict, schema: b.schema,
 		cols:    buildColumns(b.entities, b.schema),
 		triples: b.triples,

@@ -20,6 +20,7 @@ import (
 
 	"minoaner/internal/core"
 	"minoaner/internal/kb"
+	"minoaner/internal/snapshot"
 )
 
 // Pair is one registry entry: the spec it was loaded from, its build state
@@ -92,15 +93,24 @@ func NewRegistry() *Registry {
 // first-loads are serialized behind the one build goroutine, whose
 // completion every caller can await via Pair.Done.
 func (r *Registry) Load(spec LoadPairRequest) (*Pair, bool, error) {
-	if spec.E1 == "" || spec.E2 == "" {
-		return nil, false, fmt.Errorf("pair spec needs e1 and e2 paths")
-	}
-	switch spec.Format {
-	case "":
-		spec.Format = "nt"
-	case "nt", "tsv":
-	default:
-		return nil, false, fmt.Errorf("unknown format %q (want nt or tsv)", spec.Format)
+	if spec.Snapshot != "" {
+		if spec.E1 != "" || spec.E2 != "" {
+			return nil, false, fmt.Errorf("pair spec mixes a snapshot with e1/e2 paths")
+		}
+		if spec.SaveSnapshot != "" {
+			return nil, false, fmt.Errorf("pair spec mixes snapshot and save_snapshot")
+		}
+	} else {
+		if spec.E1 == "" || spec.E2 == "" {
+			return nil, false, fmt.Errorf("pair spec needs e1 and e2 paths (or a snapshot)")
+		}
+		switch spec.Format {
+		case "":
+			spec.Format = "nt"
+		case "nt", "tsv":
+		default:
+			return nil, false, fmt.Errorf("unknown format %q (want nt or tsv)", spec.Format)
+		}
 	}
 	id := spec.ID
 	if id == "" {
@@ -160,6 +170,13 @@ func (r *Registry) runBuild(ctx context.Context, p *Pair) {
 		err = sub.PrewarmQueries(ctx)
 		prewarmWall = time.Since(t0)
 	}
+	if err == nil && p.spec.SaveSnapshot != "" {
+		// Persisting is part of the load contract: a pair that claims to have
+		// saved its snapshot but didn't would poison later warm starts.
+		if werr := snapshot.WriteSubstrateFile(p.spec.SaveSnapshot, sub); werr != nil {
+			err = fmt.Errorf("save snapshot: %w", werr)
+		}
+	}
 	r.mu.Lock()
 	if err != nil {
 		p.status = StatusFailed
@@ -169,6 +186,11 @@ func (r *Registry) runBuild(ctx context.Context, p *Pair) {
 		p.sub = sub
 		p.loadWall = loadWall
 		p.prewarmWall = prewarmWall
+		if p.spec.Snapshot != "" {
+			// A snapshot carries its own build configuration; queries and
+			// resolves must use it, not the spec's defaults.
+			p.cfg = sub.Config()
+		}
 	}
 	r.mu.Unlock()
 	close(p.done)
@@ -177,6 +199,18 @@ func (r *Registry) runBuild(ctx context.Context, p *Pair) {
 // defaultBuild loads the two KBs from the spec's paths and builds the shared
 // substrate under the build context.
 func (r *Registry) defaultBuild(ctx context.Context, p *Pair) (*core.Substrate, time.Duration, error) {
+	if p.spec.Snapshot != "" {
+		// Snapshot-sourced pair: the mmap open replaces KB parsing AND the
+		// substrate build. The mapping lives for the process lifetime — the
+		// registry never unmaps, since queries may hold the substrate after
+		// Delete (see Loaded.Close).
+		t0 := time.Now()
+		loaded, err := snapshot.OpenSubstrate(p.spec.Snapshot)
+		if err != nil {
+			return nil, 0, err
+		}
+		return loaded.Substrate(), time.Since(t0), nil
+	}
 	t0 := time.Now()
 	k1, err := loadKBFile("E1", p.spec.E1, p.spec.Format, p.spec.Stream)
 	if err != nil {
@@ -265,12 +299,13 @@ func (r *Registry) Info(p *Pair) PairInfo {
 
 func (r *Registry) infoLocked(p *Pair) PairInfo {
 	info := PairInfo{
-		ID:      p.id,
-		Status:  p.status,
-		E1:      p.spec.E1,
-		E2:      p.spec.E2,
-		Format:  p.spec.Format,
-		Queries: p.queries.Load(),
+		ID:       p.id,
+		Status:   p.status,
+		E1:       p.spec.E1,
+		E2:       p.spec.E2,
+		Format:   p.spec.Format,
+		Snapshot: p.spec.Snapshot,
+		Queries:  p.queries.Load(),
 	}
 	switch p.status {
 	case StatusReady:
@@ -333,7 +368,8 @@ func (r *Registry) Close() {
 func deriveID(spec LoadPairRequest) string {
 	h := sha256.New()
 	prewarm := spec.Prewarm == nil || *spec.Prewarm
-	fmt.Fprintf(h, "%s|%s|%s|%t|%t", spec.E1, spec.E2, spec.Format, spec.Stream, prewarm)
+	fmt.Fprintf(h, "%s|%s|%s|%t|%t|%s|%s",
+		spec.E1, spec.E2, spec.Format, spec.Stream, prewarm, spec.Snapshot, spec.SaveSnapshot)
 	if c := spec.Config; c != nil {
 		fmt.Fprintf(h, "|%d|%d|%d|%g|%g|%d", c.NameK, c.TopK, c.RelN, c.Theta, c.MaxBlockFraction, c.Workers)
 	}

@@ -82,7 +82,8 @@ type LoadPairRequest struct {
 	// ID names the pair; empty derives a deterministic ID from the spec, so
 	// identical concurrent loads coalesce onto one build.
 	ID string `json:"id,omitempty"`
-	// E1 and E2 are server-local dataset paths.
+	// E1 and E2 are server-local dataset paths. Not used (and not required)
+	// when Snapshot is set.
 	E1 string `json:"e1"`
 	E2 string `json:"e2"`
 	// Format is "nt" (default) or "tsv".
@@ -92,8 +93,17 @@ type LoadPairRequest struct {
 	// Prewarm (default true) front-loads the lazy query state after the
 	// substrate build, so the first query does not pay for it.
 	Prewarm *bool `json:"prewarm,omitempty"`
-	// Config carries the build parameters (defaults: the paper's).
+	// Config carries the build parameters (defaults: the paper's). Ignored
+	// when Snapshot is set — a snapshot carries its build configuration.
 	Config *PairConfig `json:"config,omitempty"`
+	// Snapshot, when set, sources the pair from a server-local substrate
+	// snapshot instead of KB dumps: the file is memory-mapped and the pair is
+	// query-ready (persisted query state included) without any rebuild.
+	Snapshot string `json:"snapshot,omitempty"`
+	// SaveSnapshot, when set, persists the substrate (with prewarmed query
+	// state) to this server-local path once the build succeeds, so later
+	// loads can warm-start from it. Mutually exclusive with Snapshot.
+	SaveSnapshot string `json:"save_snapshot,omitempty"`
 }
 
 // Pair statuses reported in PairInfo.
@@ -118,6 +128,10 @@ type PairInfo struct {
 	E1     string `json:"e1"`
 	E2     string `json:"e2"`
 	Format string `json:"format"`
+	// Snapshot is the snapshot path the pair was loaded from, if any; for
+	// snapshot-sourced pairs LoadMS is the mmap-open wall clock and BuildMS
+	// the ORIGINAL substrate build recorded inside the snapshot.
+	Snapshot string `json:"snapshot,omitempty"`
 	// E1Size/E2Size are entity counts, present once the pair is ready.
 	E1Size int `json:"e1_size,omitempty"`
 	E2Size int `json:"e2_size,omitempty"`

@@ -1,0 +1,482 @@
+// Snapshot decoder: OpenSubstrate memory-maps a snapshot file and
+// reinterprets its numeric sections in place (near-zero-copy — only the
+// ragged row headers and Go-side wrappers are allocated), while
+// ReadSubstrate decodes from any byte slice with explicit element copies
+// (the portable and cross-endian path). Both install the persisted query
+// state, so the first QueryEntity after a load pays no graph construction.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+	"unsafe"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+)
+
+// Loaded is an open snapshot: the substrate plus the backing bytes (possibly
+// a memory mapping).
+type Loaded struct {
+	sub    *core.Substrate
+	data   []byte
+	mapped bool
+}
+
+// Substrate returns the loaded substrate. It aliases the snapshot bytes and
+// must not be used after Close.
+func (l *Loaded) Substrate() *core.Substrate { return l.sub }
+
+// Mapped reports whether the substrate is served from a memory mapping
+// (as opposed to heap copies).
+func (l *Loaded) Mapped() bool { return l.mapped }
+
+// Close releases the mapping, if any. The substrate must have drained all
+// queries first: after Close, slices that aliased the mapping fault on
+// access. Long-lived servers that cannot prove drain should simply not call
+// Close and let the mapping live for the process lifetime.
+func (l *Loaded) Close() error {
+	if !l.mapped {
+		return nil
+	}
+	l.mapped = false
+	data := l.data
+	l.data, l.sub = nil, nil
+	return unmap(data)
+}
+
+// OpenSubstrate opens a snapshot file, preferring a read-only memory mapping
+// with in-place reinterpretation. It falls back to a heap read if mapping
+// fails, and to the copying decoder on big-endian hosts.
+func OpenSubstrate(path string) (*Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, mapped, err := mapFile(f, st.Size())
+	if err != nil || data == nil {
+		if data, err = os.ReadFile(path); err != nil {
+			return nil, err
+		}
+		mapped = false
+	}
+	copyMode := !hostLittleEndian() ||
+		(len(data) > 0 && uintptr(unsafe.Pointer(&data[0]))%8 != 0)
+	sub, derr := decode(data, copyMode)
+	if derr != nil {
+		if mapped {
+			unmap(data)
+		}
+		return nil, derr
+	}
+	return &Loaded{sub: sub, data: data, mapped: mapped}, nil
+}
+
+// ReadSubstrate decodes a snapshot image from memory with the portable
+// copying decoder (numeric sections are decoded element by element; string
+// blobs still alias data, which the caller must keep immutable).
+func ReadSubstrate(data []byte) (*Loaded, error) {
+	sub, err := decode(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Loaded{sub: sub, data: data}, nil
+}
+
+func decode(data []byte, copyMode bool) (*core.Substrate, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := h.section(secMeta)
+	if err != nil {
+		return nil, err
+	}
+	var meta metaV1
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+
+	dict1, err := decodeDict(h, copyMode, dict1Base, "dict1")
+	if err != nil {
+		return nil, err
+	}
+	dict2 := dict1
+	if h.flags&flagSharedDict == 0 {
+		if dict2, err = decodeDict(h, copyMode, dict2Base, "dict2"); err != nil {
+			return nil, err
+		}
+	}
+	schema1, err := decodeSchema(h, copyMode, schema1PredsBase, schema1AttrsBase, schema1ValsBase, "schema1")
+	if err != nil {
+		return nil, err
+	}
+	schema2 := schema1
+	if h.flags&flagSharedSchema == 0 {
+		if schema2, err = decodeSchema(h, copyMode, schema2PredsBase, schema2AttrsBase, schema2ValsBase, "schema2"); err != nil {
+			return nil, err
+		}
+	}
+
+	// The remaining sections are independent of each other, so they decode
+	// concurrently — for large snapshots the wall clock of an open is the
+	// SLOWEST section (one KB's description materialization), not the sum.
+	// Every goroutine only reads the shared header and writes its own slot.
+	var (
+		k1, k2         *kb.KB
+		ranks1, ranks2 []int32
+		top1, top2     [][]kb.EntityID
+		nameBlocks     *blocking.Collection
+		tokenIx        *blocking.TokenIndex
+	)
+	errs := make([]error, 5)
+	var wg sync.WaitGroup
+	part := func(i int, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn()
+		}()
+	}
+	part(0, func() error {
+		var err error
+		if k1, err = decodeKB(h, copyMode, kb1Base, meta.K1Name, meta.K1Triples, dict1, schema1); err != nil {
+			return fmt.Errorf("kb1: %w", err)
+		}
+		return nil
+	})
+	part(1, func() error {
+		var err error
+		if k2, err = decodeKB(h, copyMode, kb2Base, meta.K2Name, meta.K2Triples, dict2, schema2); err != nil {
+			return fmt.Errorf("kb2: %w", err)
+		}
+		return nil
+	})
+	part(2, func() error {
+		var err error
+		if ranks1, err = readI32Section[int32](h, copyMode, secRanks1, "ranks1"); err != nil {
+			return err
+		}
+		if ranks2, err = readI32Section[int32](h, copyMode, secRanks2, "ranks2"); err != nil {
+			return err
+		}
+		if top1, err = nestedSection[kb.EntityID](h, copyMode, secTop1Off, secTop1Flat, "top1"); err != nil {
+			return err
+		}
+		top2, err = nestedSection[kb.EntityID](h, copyMode, secTop2Off, secTop2Flat, "top2")
+		return err
+	})
+	part(3, func() error {
+		var err error
+		nameBlocks, err = decodeNameBlocks(h, copyMode)
+		return err
+	})
+	part(4, func() error {
+		var err error
+		tokenIx, err = decodeTokenIndex(h, copyMode, dict1)
+		return err
+	})
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	sub, err := core.SubstrateFromParts(core.SubstrateParts{
+		K1: k1, K2: k2, Config: meta.Config,
+		NameAttrs1: meta.NameAttrs1, NameAttrs2: meta.NameAttrs2,
+		Ranks1: ranks1, Ranks2: ranks2,
+		Top1: top1, Top2: top2,
+		NameBlocks: nameBlocks, TokenIndex: tokenIx,
+		PurgedBlocks: meta.PurgedBlocks, PurgeThreshold: meta.PurgeThreshold,
+		Timings:   meta.Timings,
+		BuildWall: time.Duration(meta.BuildWallNS),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+
+	if h.flags&flagQueryState != 0 {
+		if err := decodeQueryState(h, copyMode, sub, top1); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}
+
+// decodeDict reads a frozen dictionary trio; the sorted permutation is
+// mandatory (dictionaries are looked up on the query path).
+func decodeDict(h *header, copyMode bool, base uint32, what string) (*kb.Interner, error) {
+	fs, err := lookupFrozen(h, copyMode, base, what)
+	if err != nil {
+		return nil, err
+	}
+	return kb.NewFrozenInterner(fs), nil
+}
+
+// lookupFrozen is frozenSection plus a mandatory sorted permutation.
+func lookupFrozen(h *header, copyMode bool, base uint32, what string) (*kb.FrozenStrings, error) {
+	fs, err := frozenSection(h, copyMode, base, what)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := fs.Lookup(""); !ok {
+		// Lookup("") failing can also mean "" absent; detect a missing sorted
+		// table directly from the section map.
+		if _, present := h.optional(base + frozenSorted); !present && fs.Len() > 0 {
+			return nil, fmt.Errorf("%w: %s: missing sorted permutation", ErrCorrupt, what)
+		}
+	}
+	return fs, nil
+}
+
+func decodeSchema(h *header, copyMode bool, predsBase, attrsBase, valsBase uint32, what string) (*kb.Schema, error) {
+	preds, err := lookupFrozen(h, copyMode, predsBase, what+" preds")
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := lookupFrozen(h, copyMode, attrsBase, what+" attrs")
+	if err != nil {
+		return nil, err
+	}
+	vals, err := lookupFrozen(h, copyMode, valsBase, what+" vals")
+	if err != nil {
+		return nil, err
+	}
+	return kb.NewFrozenSchema(preds, attrs, vals), nil
+}
+
+func readI32Section[T ~int32](h *header, copyMode bool, id uint32, what string) ([]T, error) {
+	b, err := h.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return viewI32s[T](b, copyMode, what)
+}
+
+func readU32Section[T ~uint32](h *header, copyMode bool, id uint32, what string) ([]T, error) {
+	b, err := h.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return viewU32s[T](b, copyMode, what)
+}
+
+func readI64Section(h *header, copyMode bool, id uint32, what string) ([]int64, error) {
+	b, err := h.section(id)
+	if err != nil {
+		return nil, err
+	}
+	return viewI64s(b, copyMode, what)
+}
+
+func decodeKB(h *header, copyMode bool, base uint32, name string, triples int, dict *kb.Interner, schema *kb.Schema) (*kb.KB, error) {
+	p := kb.SnapshotParts{Name: name, Triples: triples, Dict: dict, Schema: schema}
+	var err error
+	if p.URIs, err = lookupFrozen(h, copyMode, base+kbURIBlob, "uris"); err != nil {
+		return nil, err
+	}
+	if p.TokenOff, err = readI64Section(h, copyMode, base+kbTokenOff, "token offsets"); err != nil {
+		return nil, err
+	}
+	if p.Tokens, err = readU32Section[kb.TokenID](h, copyMode, base+kbTokens, "tokens"); err != nil {
+		return nil, err
+	}
+	if p.RelOff, err = readI32Section[int32](h, copyMode, base+kbRelOff, "relation offsets"); err != nil {
+		return nil, err
+	}
+	if p.RelPred, err = readU32Section[kb.PredID](h, copyMode, base+kbRelPred, "relation predicates"); err != nil {
+		return nil, err
+	}
+	if p.RelObj, err = readI32Section[kb.EntityID](h, copyMode, base+kbRelObj, "relation objects"); err != nil {
+		return nil, err
+	}
+	if p.AttrOff, err = readI32Section[int32](h, copyMode, base+kbAttrOff, "attribute offsets"); err != nil {
+		return nil, err
+	}
+	if p.AttrName, err = readU32Section[kb.AttrID](h, copyMode, base+kbAttrName, "attribute names"); err != nil {
+		return nil, err
+	}
+	if p.AttrVal, err = readU32Section[kb.ValueID](h, copyMode, base+kbAttrVal, "attribute values"); err != nil {
+		return nil, err
+	}
+	if p.StmtAttrName, err = readU32Section[kb.AttrID](h, copyMode, base+kbStmtAttrName, "statement attributes"); err != nil {
+		return nil, err
+	}
+	blob, err := h.section(base + kbStmtValBlob)
+	if err != nil {
+		return nil, err
+	}
+	valOff, err := readI64Section(h, copyMode, base+kbStmtValOff, "statement value offsets")
+	if err != nil {
+		return nil, err
+	}
+	if p.StmtVals, err = kb.NewFrozenStrings(blob, valOff, nil); err != nil {
+		return nil, fmt.Errorf("%w: statement values: %v", ErrCorrupt, err)
+	}
+	if p.StmtRelPred, err = readU32Section[kb.PredID](h, copyMode, base+kbStmtRelPred, "statement predicates"); err != nil {
+		return nil, err
+	}
+	if p.StmtRelObj, err = readI32Section[kb.EntityID](h, copyMode, base+kbStmtRelObj, "statement objects"); err != nil {
+		return nil, err
+	}
+	k, err := kb.AssembleKB(p)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return k, nil
+}
+
+func decodeNameBlocks(h *header, copyMode bool) (*blocking.Collection, error) {
+	keys, err := frozenSection(h, copyMode, secNameKeys, "name block keys")
+	if err != nil {
+		return nil, err
+	}
+	rows1, err := nestedSection[kb.EntityID](h, copyMode, secNameE1Off, secNameE1Flat, "name blocks e1")
+	if err != nil {
+		return nil, err
+	}
+	rows2, err := nestedSection[kb.EntityID](h, copyMode, secNameE2Off, secNameE2Flat, "name blocks e2")
+	if err != nil {
+		return nil, err
+	}
+	if len(rows1) != keys.Len() || len(rows2) != keys.Len() {
+		return nil, fmt.Errorf("%w: name blocks: %d keys vs %d/%d member rows", ErrCorrupt, keys.Len(), len(rows1), len(rows2))
+	}
+	blocks := make([]blocking.Block, keys.Len())
+	for i := range blocks {
+		blocks[i] = blocking.Block{Key: keys.At(i), E1: rows1[i], E2: rows2[i]}
+	}
+	return &blocking.Collection{Blocks: blocks}, nil
+}
+
+func decodeTokenIndex(h *header, copyMode bool, dict1 *kb.Interner) (*blocking.TokenIndex, error) {
+	ixDict := dict1
+	var t1, t2 []int32
+	if h.flags&flagTokenDictShared == 0 {
+		fs, err := lookupFrozen(h, copyMode, jointDictBase, "joint token dictionary")
+		if err != nil {
+			return nil, err
+		}
+		ixDict = kb.NewFrozenInterner(fs)
+		if t1, err = readI32Section[int32](h, copyMode, secTokT1, "token translation t1"); err != nil {
+			return nil, err
+		}
+		if t2, err = readI32Section[int32](h, copyMode, secTokT2, "token translation t2"); err != nil {
+			return nil, err
+		}
+	}
+	// The member CSRs are installed as flat views — TokenIndexFromColumns
+	// validates the offsets; no per-slot rows are ever materialized.
+	off1, err := readI32Section[int32](h, copyMode, secTokE1Off, "token index e1 offsets")
+	if err != nil {
+		return nil, err
+	}
+	mem1, err := readI32Section[kb.EntityID](h, copyMode, secTokE1Flat, "token index e1 members")
+	if err != nil {
+		return nil, err
+	}
+	off2, err := readI32Section[int32](h, copyMode, secTokE2Off, "token index e2 offsets")
+	if err != nil {
+		return nil, err
+	}
+	mem2, err := readI32Section[kb.EntityID](h, copyMode, secTokE2Flat, "token index e2 members")
+	if err != nil {
+		return nil, err
+	}
+	wb, err := h.section(secTokWeight)
+	if err != nil {
+		return nil, err
+	}
+	weight, err := viewF64s(wb, copyMode, "token weights")
+	if err != nil {
+		return nil, err
+	}
+	ix, err := blocking.TokenIndexFromColumns(blocking.IndexColumns{
+		Dict: ixDict, T1: t1, T2: t2,
+		Off1: off1, Off2: off2, Mem1: mem1, Mem2: mem2,
+		Weight: weight,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return ix, nil
+}
+
+func decodeQueryState(h *header, copyMode bool, sub *core.Substrate, top1 [][]kb.EntityID) error {
+	alpha1, err := nestedSection[kb.EntityID](h, copyMode, secAlpha1Off, secAlpha1Flat, "alpha1")
+	if err != nil {
+		return err
+	}
+	alpha2, err := nestedSection[kb.EntityID](h, copyMode, secAlpha2Off, secAlpha2Flat, "alpha2")
+	if err != nil {
+		return err
+	}
+	beta1, err := nestedEdgeSection(h, copyMode, secBeta1Off, secBeta1Edges, "beta1")
+	if err != nil {
+		return err
+	}
+	beta2, err := nestedEdgeSection(h, copyMode, secBeta2Off, secBeta2Edges, "beta2")
+	if err != nil {
+		return err
+	}
+	gamma2, err := nestedEdgeSection(h, copyMode, secGamma2Off, secGamma2Edges, "gamma2")
+	if err != nil {
+		return err
+	}
+	adj1, err := nestedEdgeSection(h, copyMode, secAdj1Off, secAdj1Edges, "adj1")
+	if err != nil {
+		return err
+	}
+	in2, err := nestedSection[kb.EntityID](h, copyMode, secIn2Off, secIn2Flat, "in2")
+	if err != nil {
+		return err
+	}
+
+	text, err := frozenSection(h, copyMode, secNamesText, "name usage text")
+	if err != nil {
+		return err
+	}
+	n1, err := readI32Section[int32](h, copyMode, secNamesN1, "name usage n1")
+	if err != nil {
+		return err
+	}
+	n2, err := readI32Section[int32](h, copyMode, secNamesN2, "name usage n2")
+	if err != nil {
+		return err
+	}
+	ue1, err := readI32Section[kb.EntityID](h, copyMode, secNamesE1, "name usage e1")
+	if err != nil {
+		return err
+	}
+	ue2, err := readI32Section[kb.EntityID](h, copyMode, secNamesE2, "name usage e2")
+	if err != nil {
+		return err
+	}
+	n := text.Len()
+	if len(n1) != n || len(n2) != n || len(ue1) != n || len(ue2) != n {
+		return fmt.Errorf("%w: name usage: %d names vs %d/%d/%d/%d columns", ErrCorrupt, n, len(n1), len(n2), len(ue1), len(ue2))
+	}
+	names := make([]core.NameUsage, n)
+	for i := range names {
+		names[i] = core.NameUsage{Name: text.At(i), N1: n1[i], N2: n2[i], E1: ue1[i], E2: ue2[i]}
+	}
+
+	g := &graph.Graph{Alpha1: alpha1, Alpha2: alpha2, Beta1: beta1, Beta2: beta2, Gamma2: gamma2}
+	scope := graph.NewGamma1Scope(sub.QueryEngine(), top1, adj1, in2, sub.Config().TopK)
+	if err := sub.InstallQueryState(&core.QueryState{Graph: g, Scope: scope, Names: names}); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
+}

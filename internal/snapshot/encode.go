@@ -1,0 +1,294 @@
+// Snapshot encoder: WriteSubstrate serializes a built substrate — both KBs,
+// dictionaries, columnar spans, ranks, top-neighbor rows, name blocks, the
+// purged token index, and (always) the prewarmed query state — into the
+// sectioned format described in format.go. Files are deterministic for a
+// given substrate: section order, padding bytes and struct padding inside
+// edge records are all pinned.
+package snapshot
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"minoaner/internal/blocking"
+	"minoaner/internal/core"
+	"minoaner/internal/graph"
+	"minoaner/internal/kb"
+)
+
+// metaV1 is the JSON payload of the meta section: everything scalar or
+// irregular that does not justify a binary column.
+type metaV1 struct {
+	K1Name    string `json:"k1_name"`
+	K2Name    string `json:"k2_name"`
+	K1Triples int    `json:"k1_triples"`
+	K2Triples int    `json:"k2_triples"`
+
+	// Config is the NORMALIZED build configuration, installed verbatim on
+	// load (re-normalizing would re-enable a disabled Block Purging).
+	Config core.Config `json:"config"`
+
+	NameAttrs1 []string `json:"name_attrs1,omitempty"`
+	NameAttrs2 []string `json:"name_attrs2,omitempty"`
+
+	PurgedBlocks   int   `json:"purged_blocks"`
+	PurgeThreshold int64 `json:"purge_threshold"`
+
+	Timings     core.Timings `json:"timings"`
+	BuildWallNS int64        `json:"build_wall_ns"`
+}
+
+// secWriter accumulates sections in file order, then lays out the header,
+// table and 8-padded section bodies.
+type secWriter struct {
+	secs []struct {
+		id   uint32
+		data []byte
+	}
+}
+
+func (sw *secWriter) add(id uint32, data []byte) {
+	sw.secs = append(sw.secs, struct {
+		id   uint32
+		data []byte
+	}{id, data})
+}
+
+func pad8(n int) int64 { return int64((n + 7) &^ 7) }
+
+func (sw *secWriter) writeTo(out io.Writer, flags uint32) error {
+	count := len(sw.secs)
+	tableEnd := int64(headerSize) + int64(count)*tableEntry
+	head := make([]byte, tableEnd)
+	copy(head, magic[:])
+	binary.LittleEndian.PutUint32(head[8:], formatVersion)
+	binary.LittleEndian.PutUint32(head[12:], flags)
+	binary.LittleEndian.PutUint32(head[16:], uint32(count))
+	off := tableEnd // headerSize and tableEntry are both multiples of 8
+	for i, s := range sw.secs {
+		e := head[headerSize+i*tableEntry:]
+		binary.LittleEndian.PutUint32(e, s.id)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(s.data)))
+		off += pad8(len(s.data))
+	}
+	if _, err := out.Write(head); err != nil {
+		return err
+	}
+	var zeros [8]byte
+	for _, s := range sw.secs {
+		if _, err := out.Write(s.data); err != nil {
+			return err
+		}
+		if p := pad8(len(s.data)) - int64(len(s.data)); p > 0 {
+			if _, err := out.Write(zeros[:p]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (sw *secWriter) addFrozen(base uint32, fs *kb.FrozenStrings) {
+	blob, off, sorted := fs.Parts()
+	sw.add(base+frozenBlob, blob)
+	sw.add(base+frozenOff, encI64s(off))
+	if sorted != nil {
+		sw.add(base+frozenSorted, encU32s(sorted))
+	}
+}
+
+func (sw *secWriter) addEntityCSR(offID, flatID uint32, rows [][]kb.EntityID) {
+	off, flat := flatten(rows)
+	sw.add(offID, encI64s(off))
+	sw.add(flatID, encI32s(flat))
+}
+
+func (sw *secWriter) addEdgeCSR(offID, flatID uint32, rows [][]graph.Edge) {
+	off, flat := flatten(rows)
+	sw.add(offID, encI64s(off))
+	sw.add(flatID, encEdges(flat))
+}
+
+func (sw *secWriter) addKB(base uint32, p kb.SnapshotParts) {
+	sw.addFrozen(base+kbURIBlob, p.URIs)
+	sw.add(base+kbTokenOff, encI64s(p.TokenOff))
+	sw.add(base+kbTokens, encU32s(p.Tokens))
+	sw.add(base+kbRelOff, encI32s(p.RelOff))
+	sw.add(base+kbRelPred, encU32s(p.RelPred))
+	sw.add(base+kbRelObj, encI32s(p.RelObj))
+	sw.add(base+kbAttrOff, encI32s(p.AttrOff))
+	sw.add(base+kbAttrName, encU32s(p.AttrName))
+	sw.add(base+kbAttrVal, encU32s(p.AttrVal))
+	sw.add(base+kbStmtAttrName, encU32s(p.StmtAttrName))
+	blob, off, _ := p.StmtVals.Parts()
+	sw.add(base+kbStmtValBlob, blob)
+	sw.add(base+kbStmtValOff, encI64s(off))
+	sw.add(base+kbStmtRelPred, encU32s(p.StmtRelPred))
+	sw.add(base+kbStmtRelObj, encI32s(p.StmtRelObj))
+}
+
+// WriteSubstrate serializes sub, including its prewarmed query state (the
+// substrate is prewarmed first if it has not served a query yet — snapshots
+// exist to make warm starts instant, so the query state always ships).
+func WriteSubstrate(w io.Writer, sub *core.Substrate) error {
+	qs, err := sub.ExportQueryState(context.Background())
+	if err != nil {
+		return fmt.Errorf("snapshot: export query state: %w", err)
+	}
+	p := sub.Parts()
+	kp1, kp2 := p.K1.SnapshotParts(), p.K2.SnapshotParts()
+	ix := p.TokenIndex.SnapshotColumns()
+
+	flags := uint32(flagQueryState)
+	sharedDict := kp2.Dict == kp1.Dict
+	sharedSchema := kp2.Schema == kp1.Schema
+	tokenDictShared := ix.Dict == kp1.Dict
+	if sharedDict {
+		flags |= flagSharedDict
+	}
+	if sharedSchema {
+		flags |= flagSharedSchema
+	}
+	if tokenDictShared {
+		flags |= flagTokenDictShared
+	}
+
+	meta := metaV1{
+		K1Name: kp1.Name, K2Name: kp2.Name,
+		K1Triples: kp1.Triples, K2Triples: kp2.Triples,
+		Config:     p.Config,
+		NameAttrs1: p.NameAttrs1, NameAttrs2: p.NameAttrs2,
+		PurgedBlocks: p.PurgedBlocks, PurgeThreshold: p.PurgeThreshold,
+		Timings: p.Timings, BuildWallNS: int64(p.BuildWall),
+	}
+	metaBytes, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("snapshot: encode meta: %w", err)
+	}
+
+	sw := &secWriter{}
+	sw.add(secMeta, metaBytes)
+
+	sw.addFrozen(dict1Base, kp1.Dict.Freeze())
+	if !sharedDict {
+		sw.addFrozen(dict2Base, kp2.Dict.Freeze())
+	}
+	preds1, attrs1, vals1 := kp1.Schema.Freeze()
+	sw.addFrozen(schema1PredsBase, preds1)
+	sw.addFrozen(schema1AttrsBase, attrs1)
+	sw.addFrozen(schema1ValsBase, vals1)
+	if !sharedSchema {
+		preds2, attrs2, vals2 := kp2.Schema.Freeze()
+		sw.addFrozen(schema2PredsBase, preds2)
+		sw.addFrozen(schema2AttrsBase, attrs2)
+		sw.addFrozen(schema2ValsBase, vals2)
+	}
+
+	sw.addKB(kb1Base, kp1)
+	sw.addKB(kb2Base, kp2)
+
+	sw.add(secRanks1, encI32s(p.Ranks1))
+	sw.add(secRanks2, encI32s(p.Ranks2))
+	sw.addEntityCSR(secTop1Off, secTop1Flat, p.Top1)
+	sw.addEntityCSR(secTop2Off, secTop2Flat, p.Top2)
+
+	addNameBlocks(sw, p.NameBlocks)
+
+	if !tokenDictShared {
+		sw.addFrozen(jointDictBase, ix.Dict.Freeze())
+		sw.add(secTokT1, encI32s(ix.T1))
+		sw.add(secTokT2, encI32s(ix.T2))
+	}
+	// The member CSRs are stored exactly as the index holds them (i32
+	// offsets + flat member arrays), so a little-endian loader installs
+	// views with zero per-slot work.
+	sw.add(secTokE1Off, encI32s(ix.Off1))
+	sw.add(secTokE1Flat, encI32s(ix.Mem1))
+	sw.add(secTokE2Off, encI32s(ix.Off2))
+	sw.add(secTokE2Flat, encI32s(ix.Mem2))
+	sw.add(secTokWeight, encF64s(ix.Weight))
+
+	addQueryState(sw, qs)
+
+	return sw.writeTo(w, flags)
+}
+
+func addNameBlocks(sw *secWriter, c *blocking.Collection) {
+	keys := make([]string, len(c.Blocks))
+	rows1 := make([][]kb.EntityID, len(c.Blocks))
+	rows2 := make([][]kb.EntityID, len(c.Blocks))
+	for i := range c.Blocks {
+		keys[i] = c.Blocks[i].Key
+		rows1[i] = c.Blocks[i].E1
+		rows2[i] = c.Blocks[i].E2
+	}
+	sw.addFrozen(secNameKeys, kb.FreezeStrings(keys, false))
+	sw.addEntityCSR(secNameE1Off, secNameE1Flat, rows1)
+	sw.addEntityCSR(secNameE2Off, secNameE2Flat, rows2)
+}
+
+func addQueryState(sw *secWriter, qs *core.QueryState) {
+	sw.addEntityCSR(secAlpha1Off, secAlpha1Flat, qs.Graph.Alpha1)
+	sw.addEntityCSR(secAlpha2Off, secAlpha2Flat, qs.Graph.Alpha2)
+	sw.addEdgeCSR(secBeta1Off, secBeta1Edges, qs.Graph.Beta1)
+	sw.addEdgeCSR(secBeta2Off, secBeta2Edges, qs.Graph.Beta2)
+	sw.addEdgeCSR(secGamma2Off, secGamma2Edges, qs.Graph.Gamma2)
+	// The scope's top1 rows are the substrate's own top-neighbor rows (already
+	// in secTop1*); only the merged β adjacency and the E2 reverse index are
+	// scope-specific.
+	_, adj1, in2, _ := qs.Scope.SnapshotParts()
+	sw.addEdgeCSR(secAdj1Off, secAdj1Edges, adj1)
+	sw.addEntityCSR(secIn2Off, secIn2Flat, in2)
+
+	names := make([]string, len(qs.Names))
+	n1 := make([]int32, len(qs.Names))
+	n2 := make([]int32, len(qs.Names))
+	e1 := make([]kb.EntityID, len(qs.Names))
+	e2 := make([]kb.EntityID, len(qs.Names))
+	for i, u := range qs.Names {
+		names[i], n1[i], n2[i], e1[i], e2[i] = u.Name, u.N1, u.N2, u.E1, u.E2
+	}
+	sw.addFrozen(secNamesText, kb.FreezeStrings(names, false))
+	sw.add(secNamesN1, encI32s(n1))
+	sw.add(secNamesN2, encI32s(n2))
+	sw.add(secNamesE1, encI32s(e1))
+	sw.add(secNamesE2, encI32s(e2))
+}
+
+// WriteSubstrateFile writes the snapshot to path atomically (temp file in the
+// same directory, then rename).
+func WriteSubstrateFile(path string, sub *core.Substrate) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := WriteSubstrate(bw, sub); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a wired-up mmap reads the whole file; the
+// decoder still reinterprets the heap bytes in place when aligned.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func unmap(b []byte) error { return nil }

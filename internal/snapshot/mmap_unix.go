@@ -1,0 +1,23 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. Mappings are page-aligned, so the 8-byte
+// section alignment the format guarantees holds relative to the mapping base.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func unmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,278 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"minoaner/internal/core"
+	"minoaner/internal/datagen"
+	"minoaner/internal/kb"
+)
+
+// pinnedDigest replicates the digest of internal/core's pinned-digest test
+// over an Output, so snapshot-loaded substrates can be checked against the
+// committed byte-identity fixtures without an import cycle.
+func pinnedDigest(out *core.Output) string {
+	h := sha256.New()
+	for _, m := range out.Matches {
+		fmt.Fprintf(h, "m %d %d %s\n", m.Pair.E1, m.Pair.E2, m.Rule)
+	}
+	fmt.Fprintf(h, "r4 %d edges %d purged %d threshold %d\n",
+		out.RemovedByR4, out.GraphEdges, out.PurgedBlocks, out.PurgeThreshold)
+	fmt.Fprintf(h, "names %v %v\n", out.NameAttrs1, out.NameAttrs2)
+	fmt.Fprintf(h, "blocks %d %d comparisons %d %d\n",
+		out.NameBlocks.Len(), out.TokenBlocks.Len(),
+		out.NameBlocks.TotalComparisons(), out.TokenBlocks.TotalComparisons())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type pinnedCase struct {
+	Dataset string `json:"dataset"`
+	Workers int    `json:"workers"`
+	Shards  int    `json:"shards"`
+	SHA256  string `json:"sha256"`
+}
+
+// loadPinned returns the pinned digest for a preset at workers=1, shards=1.
+func loadPinned(t *testing.T, dataset string) string {
+	t.Helper()
+	data, err := os.ReadFile("../core/testdata/pinned_digests.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []pinnedCase
+	if err := json.Unmarshal(data, &cases); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Dataset == dataset && c.Workers == 1 && c.Shards == 1 {
+			return c.SHA256
+		}
+	}
+	t.Fatalf("no pinned digest for %s", dataset)
+	return ""
+}
+
+// buildPreset generates a preset pair at the pinned-fixture scale (0.1) and
+// builds its substrate.
+func buildPreset(t *testing.T, name string) *core.Substrate {
+	t.Helper()
+	for _, profile := range datagen.Presets() {
+		if profile.Name != name {
+			continue
+		}
+		d, err := datagen.Generate(datagen.Scale(profile, 0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := core.BuildSubstrate(context.Background(), d.K1, d.K2, core.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	t.Fatalf("unknown preset %s", name)
+	return nil
+}
+
+func resolveDigest(t *testing.T, sub *core.Substrate) string {
+	t.Helper()
+	out, err := core.ResolveWith(context.Background(), sub, core.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pinnedDigest(out)
+}
+
+func snapshotBytes(t *testing.T, sub *core.Substrate) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSubstrate(&buf, sub); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func presetsUnderTest(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"Restaurant"}
+	}
+	var names []string
+	for _, p := range datagen.Presets() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// TestRoundTripPinnedDigests proves the byte-identity bar: a substrate
+// round-tripped through the snapshot format — via both the mmap loader and
+// the portable copying decoder — resolves to exactly the digests pinned
+// before the substrate refactor.
+func TestRoundTripPinnedDigests(t *testing.T) {
+	for _, name := range presetsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			sub := buildPreset(t, name)
+			want := loadPinned(t, name)
+			if got := resolveDigest(t, sub); got != want {
+				t.Fatalf("built substrate digest %s differs from pinned %s", got, want)
+			}
+
+			path := filepath.Join(t.TempDir(), "pair.snap")
+			if err := WriteSubstrateFile(path, sub); err != nil {
+				t.Fatal(err)
+			}
+			opened, err := OpenSubstrate(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer opened.Close()
+			if got := resolveDigest(t, opened.Substrate()); got != want {
+				t.Errorf("mmap-loaded digest %s differs from pinned %s", got, want)
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			read, err := ReadSubstrate(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resolveDigest(t, read.Substrate()); got != want {
+				t.Errorf("copy-decoded digest %s differs from pinned %s", got, want)
+			}
+		})
+	}
+}
+
+// TestRoundTripQueryRows proves the query path: QueryEntity over a
+// snapshot-loaded substrate (with its persisted query state) returns rows
+// deep-equal to the originally built, prewarmed substrate — under both
+// decoders.
+func TestRoundTripQueryRows(t *testing.T) {
+	sub := buildPreset(t, "Restaurant")
+	ctx := context.Background()
+	if err := sub.PrewarmQueries(ctx); err != nil {
+		t.Fatal(err)
+	}
+	data := snapshotBytes(t, sub)
+
+	path := filepath.Join(t.TempDir(), "pair.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenSubstrate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	read, err := ReadSubstrate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k1 := sub.K1()
+	n := k1.Len()
+	if n == 0 {
+		t.Fatal("empty KB")
+	}
+	cfg := core.Config{Workers: 1}
+	checked := 0
+	for i := 0; i < n; i += 1 + n/50 { // ~50 spread-out entities
+		q := core.QueryFromEntity(k1, kb.EntityID(i))
+		want, err := core.QueryEntity(ctx, sub, q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, loaded := range map[string]*core.Substrate{
+			"mmap": opened.Substrate(), "copy": read.Substrate(),
+		} {
+			got, err := core.QueryEntity(ctx, loaded, q, cfg)
+			if err != nil {
+				t.Fatalf("%s: entity %d: %v", name, i, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: entity %d: rows differ\nbuilt:  %+v\nloaded: %+v", name, i, want, got)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no entities checked")
+	}
+}
+
+// TestCorruptInputs exercises the failure paths: truncation, a wrong magic,
+// an unknown version and a misaligned section must all surface as the typed
+// errors, never a panic.
+func TestCorruptInputs(t *testing.T) {
+	sub := buildPreset(t, "Restaurant")
+	data := snapshotBytes(t, sub)
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := bytes.Clone(data)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-header", mutate(func(b []byte) []byte { return b[:10] }), ErrTruncated},
+		{"cut-table", mutate(func(b []byte) []byte { return b[:headerSize+5] }), ErrTruncated},
+		{"cut-sections", mutate(func(b []byte) []byte { return b[:len(b)/2] }), ErrTruncated},
+		{"bad-magic", mutate(func(b []byte) []byte { b[0] ^= 0xff; return b }), ErrBadMagic},
+		{"bad-version", mutate(func(b []byte) []byte { b[8] = 99; return b }), ErrVersion},
+		{"misaligned-section", mutate(func(b []byte) []byte {
+			// Bump the first table entry's offset by 4: still in bounds (the
+			// length check uses the stored length), no longer 8-aligned.
+			b[headerSize+8] += 4
+			return b
+		}), ErrMisaligned},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadSubstrate(c.data)
+			if err == nil {
+				t.Fatal("decode of corrupt input succeeded")
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("got %v, want errors.Is %v", err, c.want)
+			}
+		})
+	}
+}
+
+// TestCorruptFileViaOpen checks the mmap path reports the same typed errors.
+func TestCorruptFileViaOpen(t *testing.T) {
+	sub := buildPreset(t, "Restaurant")
+	data := snapshotBytes(t, sub)
+	data[0] ^= 0xff
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSubstrate(path); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+// TestWriteDeterministic: the same substrate serializes to identical bytes.
+func TestWriteDeterministic(t *testing.T) {
+	sub := buildPreset(t, "Restaurant")
+	a := snapshotBytes(t, sub)
+	b := snapshotBytes(t, sub)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two writes of the same substrate differ")
+	}
+}

@@ -29,6 +29,7 @@
 //   - Build — constructing and loading knowledge bases;
 //   - Resolve — the batch pipeline over a KB pair;
 //   - Query — build-once substrates and per-entity queries;
+//   - Snapshots — persisted substrates with memory-mapped loading;
 //   - Serve — the wire schema and server behind cmd/minoanerd.
 //
 // Every entry point that performs resolution work takes a context first:
@@ -53,6 +54,7 @@ import (
 	"minoaner/internal/kb"
 	"minoaner/internal/matching"
 	"minoaner/internal/server"
+	"minoaner/internal/snapshot"
 )
 
 // ---------------------------------------------------------------------------
@@ -266,6 +268,32 @@ func QueryEntity(ctx context.Context, sub *Substrate, q EntityQuery, cfg Config)
 // QueryFromEntity lifts an existing E1 entity into an EntityQuery that
 // replays it through the per-entity query path.
 func QueryFromEntity(k *KB, e EntityID) EntityQuery { return core.QueryFromEntity(k, e) }
+
+// ---------------------------------------------------------------------------
+// Snapshots: persisted substrates with memory-mapped loading.
+
+// LoadedSnapshot is an open substrate snapshot. The substrate aliases the
+// snapshot bytes (a read-only memory mapping when possible); Close unmaps
+// and must only be called once all queries over the substrate have drained.
+type LoadedSnapshot = snapshot.Loaded
+
+// WriteSnapshot serializes a built substrate — including its prewarmed
+// per-entity query state — into the versioned binary snapshot format.
+func WriteSnapshot(w io.Writer, sub *Substrate) error { return snapshot.WriteSubstrate(w, sub) }
+
+// WriteSnapshotFile writes a substrate snapshot to path atomically.
+func WriteSnapshotFile(path string, sub *Substrate) error {
+	return snapshot.WriteSubstrateFile(path, sub)
+}
+
+// OpenSnapshot memory-maps a snapshot file and reinterprets its columns in
+// place: the returned substrate is query-ready (its persisted query state is
+// installed) after near-zero copying work.
+func OpenSnapshot(path string) (*LoadedSnapshot, error) { return snapshot.OpenSubstrate(path) }
+
+// ReadSnapshot decodes a snapshot image from memory through the portable
+// copying decoder (the cross-endian path; data must stay immutable).
+func ReadSnapshot(data []byte) (*LoadedSnapshot, error) { return snapshot.ReadSubstrate(data) }
 
 // ---------------------------------------------------------------------------
 // Serve: the wire schema and server behind cmd/minoanerd.

@@ -4,7 +4,10 @@ package minoaner_test
 // binary over real HTTP — generate a dataset, build both binaries, serve,
 // load a pair, query it in both request formats, and byte-compare the
 // server's candidate rows against `cmd/minoaner -query -json`, proving the
-// two front-ends share one wire schema. Finally SIGTERM the server and
+// two front-ends share one wire schema. Then load a second pair from a
+// substrate snapshot written by the CLI, assert its candidates match the
+// built pair byte for byte and that its readiness wall-clock (open +
+// prewarm) beats the full rebuild path. Finally SIGTERM the server and
 // assert a clean drain.
 //
 // The test spawns the go toolchain and a server process, so it only runs
@@ -87,27 +90,7 @@ func TestServeSmoke(t *testing.T) {
 	if resp.status != http.StatusAccepted {
 		t.Fatalf("load pair = %d: %s", resp.status, resp.body)
 	}
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		var info struct {
-			Status string `json:"status"`
-			Error  string `json:"error"`
-		}
-		r := httpJSON(t, http.MethodGet, base+"/v1/pairs/smoke", "")
-		if err := json.Unmarshal(r.body, &info); err != nil {
-			t.Fatalf("pair info %s: %v", r.body, err)
-		}
-		if info.Status == "ready" {
-			break
-		}
-		if info.Status == "failed" {
-			t.Fatalf("pair build failed: %s", info.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("pair still %q after 60s", info.Status)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	awaitReady(t, base, "smoke")
 
 	// Format 1 — replay: an E1 URI with a known true match (a non-GT entity
 	// can legitimately rank zero candidates), server vs CLI.
@@ -117,7 +100,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 	probeID := gtPairs[0].E1
 	replayURI := d.K1.Entity(probeID).URI
-	serverReplay := queryCandidates(t, base, fmt.Sprintf(`{"uri":%q}`, replayURI))
+	serverReplay := queryCandidates(t, base, "smoke", fmt.Sprintf(`{"uri":%q}`, replayURI))
 	cliReplay := runCLI(t, cliBin, e1Path, e2Path, replayURI, "")
 	if !bytes.Equal(serverReplay, cliReplay) {
 		t.Errorf("replay candidates differ between server and CLI:\n--- server ---\n%s\n--- cli ---\n%s", serverReplay, cliReplay)
@@ -149,11 +132,49 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serverFresh := queryCandidates(t, base, fmt.Sprintf(`{"uri":"smoke:probe","objects":%s}`, objsJSON))
+	serverFresh := queryCandidates(t, base, "smoke", fmt.Sprintf(`{"uri":"smoke:probe","objects":%s}`, objsJSON))
 	cliFresh := runCLI(t, cliBin, e1Path, e2Path, "smoke:probe", stdin.String())
 	if !bytes.Equal(serverFresh, cliFresh) {
 		t.Errorf("new-entity candidates differ between server and CLI:\n--- server ---\n%s\n--- cli ---\n%s", serverFresh, cliFresh)
 	}
+
+	// Snapshot warm start: persist the substrate with the CLI, load it as a
+	// second pair, and require byte-identical candidates plus a readiness
+	// time that beats the rebuild path (mmap open + instant prewarm vs KB
+	// parse + substrate build + prewarm).
+	snapPath := filepath.Join(tmp, "pair.snap")
+	saveCmd := exec.Command(cliBin, "-e1", e1Path, "-e2", e2Path, "-save-snapshot", snapPath,
+		"-query", replayURI, "-json", "-quiet")
+	if out, err := saveCmd.CombinedOutput(); err != nil {
+		t.Fatalf("minoaner -save-snapshot: %v\n%s", err, out)
+	}
+	resp = httpJSON(t, http.MethodPost, base+"/v1/pairs", fmt.Sprintf(`{"id":"snap","snapshot":%q}`, snapPath))
+	if resp.status != http.StatusAccepted {
+		t.Fatalf("load snapshot pair = %d: %s", resp.status, resp.body)
+	}
+	awaitReady(t, base, "snap")
+	snapReplay := queryCandidates(t, base, "snap", fmt.Sprintf(`{"uri":%q}`, replayURI))
+	if !bytes.Equal(snapReplay, serverReplay) {
+		t.Errorf("snapshot-pair candidates differ from built pair:\n--- snapshot ---\n%s\n--- built ---\n%s", snapReplay, serverReplay)
+	}
+	var built, snap struct {
+		LoadMS    float64 `json:"load_ms"`
+		BuildMS   float64 `json:"build_ms"`
+		PrewarmMS float64 `json:"prewarm_ms"`
+	}
+	if err := json.Unmarshal(httpJSON(t, http.MethodGet, base+"/v1/pairs/smoke", "").body, &built); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(httpJSON(t, http.MethodGet, base+"/v1/pairs/snap", "").body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	rebuild := built.LoadMS + built.BuildMS + built.PrewarmMS
+	warm := snap.LoadMS + snap.PrewarmMS
+	if warm >= rebuild {
+		t.Errorf("snapshot readiness %.2fms is not faster than rebuild %.2fms (load %.2f + build %.2f + prewarm %.2f)",
+			warm, rebuild, built.LoadMS, built.BuildMS, built.PrewarmMS)
+	}
+	t.Logf("warm start: snapshot ready in %.2fms vs rebuild %.2fms", warm, rebuild)
 
 	// SIGTERM: the server must drain and exit cleanly.
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
@@ -229,12 +250,39 @@ func httpJSON(t *testing.T, method, url, body string) httpResult {
 	return httpResult{resp.StatusCode, data}
 }
 
+// awaitReady polls one pair's status until it is ready (or fails the test
+// on a build failure / 60s timeout).
+func awaitReady(t *testing.T, base, pair string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var info struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		r := httpJSON(t, http.MethodGet, base+"/v1/pairs/"+pair, "")
+		if err := json.Unmarshal(r.body, &info); err != nil {
+			t.Fatalf("pair info %s: %v", r.body, err)
+		}
+		if info.Status == "ready" {
+			return
+		}
+		if info.Status == "failed" {
+			t.Fatalf("pair build failed: %s", info.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pair still %q after 60s", info.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // queryCandidates posts one query and re-indents the raw candidates array
 // exactly the way the CLI's JSON encoder prints it, preserving the original
 // number literals (no decode/re-encode drift).
-func queryCandidates(t *testing.T, base, body string) []byte {
+func queryCandidates(t *testing.T, base, pair, body string) []byte {
 	t.Helper()
-	r := httpJSON(t, http.MethodPost, base+"/v1/pairs/smoke/query", body)
+	r := httpJSON(t, http.MethodPost, base+"/v1/pairs/"+pair+"/query", body)
 	if r.status != http.StatusOK {
 		t.Fatalf("query = %d: %s", r.status, r.body)
 	}
